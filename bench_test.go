@@ -1,0 +1,226 @@
+package eevfs_test
+
+// One benchmark per table and figure of the paper, as required by the
+// per-experiment index in DESIGN.md. Each benchmark regenerates its
+// artifact through the same harness as cmd/eevfsbench and reports the
+// headline quantity (energy savings, transitions, or response penalty)
+// as a custom benchmark metric, so `go test -bench=.` doubles as a
+// reproduction run.
+
+import (
+	"testing"
+
+	"eevfs"
+	"eevfs/internal/experiments"
+)
+
+// benchSweep runs a sweep-producing experiment and reports headline
+// metrics from its points.
+func benchEnergySweep(b *testing.B, sweep func(experiments.Options) (experiments.Sweep, error)) {
+	b.Helper()
+	var last experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		s, err := sweep(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.PF.EnergySavingsVs(p.NPF), "savings%/"+p.Label)
+	}
+}
+
+func BenchmarkTableITestbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIIParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3aEnergyVsDataSize(b *testing.B) {
+	benchEnergySweep(b, experiments.DataSizeSweep)
+}
+
+func BenchmarkFig3bEnergyVsMU(b *testing.B) {
+	benchEnergySweep(b, experiments.MUSweep)
+}
+
+func BenchmarkFig3cEnergyVsDelay(b *testing.B) {
+	benchEnergySweep(b, experiments.DelaySweep)
+}
+
+func BenchmarkFig3dEnergyVsPrefetchCount(b *testing.B) {
+	benchEnergySweep(b, experiments.PrefetchCountSweep)
+}
+
+func benchTransitionsSweep(b *testing.B, sweep func(experiments.Options) (experiments.Sweep, error)) {
+	b.Helper()
+	var last experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		s, err := sweep(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(float64(p.PF.Transitions), "transitions/"+p.Label)
+	}
+}
+
+func BenchmarkFig4aTransitionsVsDataSize(b *testing.B) {
+	benchTransitionsSweep(b, experiments.DataSizeSweep)
+}
+
+func BenchmarkFig4bTransitionsVsMU(b *testing.B) {
+	benchTransitionsSweep(b, experiments.MUSweep)
+}
+
+func BenchmarkFig4cTransitionsVsDelay(b *testing.B) {
+	benchTransitionsSweep(b, experiments.DelaySweep)
+}
+
+func BenchmarkFig4dTransitionsVsPrefetchCount(b *testing.B) {
+	benchTransitionsSweep(b, experiments.PrefetchCountSweep)
+}
+
+func benchResponseSweep(b *testing.B, sweep func(experiments.Options) (experiments.Sweep, error)) {
+	b.Helper()
+	var last experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		s, err := sweep(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.PF.ResponsePenaltyVs(p.NPF), "penalty%/"+p.Label)
+	}
+}
+
+func BenchmarkFig5aResponseVsDataSize(b *testing.B) {
+	benchResponseSweep(b, experiments.DataSizeSweep)
+}
+
+func BenchmarkFig5bResponseVsMU(b *testing.B) {
+	benchResponseSweep(b, experiments.MUSweep)
+}
+
+func BenchmarkFig5cResponseVsDelay(b *testing.B) {
+	benchResponseSweep(b, experiments.DelaySweep)
+}
+
+func BenchmarkFig5dResponseVsPrefetchCount(b *testing.B) {
+	benchResponseSweep(b, experiments.PrefetchCountSweep)
+}
+
+func BenchmarkFig6BerkeleyWebTrace(b *testing.B) {
+	var last experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.BerkeleyWebSweep(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	p := last.Points[0]
+	b.ReportMetric(p.PF.EnergySavingsVs(p.NPF), "savings%")
+	b.ReportMetric(float64(p.PF.Transitions), "transitions")
+}
+
+func BenchmarkExtDisksPerNode(b *testing.B) {
+	benchEnergySweep(b, experiments.DisksPerNodeSweep)
+}
+
+func BenchmarkExtHints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-hints", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-baselines", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtWriteBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-writes", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateDefaultWorkload measures the raw simulator throughput
+// on the paper's default point (1000 requests, 8 nodes): the cost of one
+// full PF run.
+func BenchmarkSimulateDefaultWorkload(b *testing.B) {
+	tr, err := eevfs.SyntheticWorkload(eevfs.DefaultSyntheticConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := eevfs.DefaultTestbed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eevfs.Simulate(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtStripe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-stripe", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtDynamicPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-dynamic", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-threshold", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-scale", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("ext-buffers", experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Command eevfs-client is the CLI client for an EEVFS deployment.
+//
+// Subcommands:
+//
+//	eevfs-client -server host:port put <name> <local-file>
+//	eevfs-client -server host:port get <name> [local-file]
+//	eevfs-client -server host:port ls
+//	eevfs-client -server host:port rm <name>
+//	eevfs-client -server host:port prefetch <k>
+//	eevfs-client -server host:port stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"eevfs/internal/fs"
+	"eevfs/internal/replay"
+	"eevfs/internal/trace"
+)
+
+var (
+	timeScale *float64
+	sizeScale *int64
+)
+
+func replayOpts() replay.Options {
+	return replay.Options{TimeScale: *timeScale, SizeScale: *sizeScale}
+}
+
+func loadTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	tr, err := trace.Parse(f)
+	if err != nil {
+		die(err)
+	}
+	return tr
+}
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7000", "storage server address")
+	timeScale = flag.Float64("time-scale", 0, "replay pacing compression (0 = as fast as possible)")
+	sizeScale = flag.Int64("size-scale", 1, "divide trace file sizes for populate/replay")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := fs.Dial(*server)
+	if err != nil {
+		die(err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			die(err)
+		}
+		if err := cl.Create(args[1], data); err != nil {
+			die(err)
+		}
+		fmt.Printf("stored %s (%d bytes)\n", args[1], len(data))
+
+	case "get":
+		if len(args) < 2 || len(args) > 3 {
+			usage()
+		}
+		data, fromBuffer, err := cl.Read(args[1])
+		if err != nil {
+			die(err)
+		}
+		src := "data disk"
+		if fromBuffer {
+			src = "buffer disk"
+		}
+		if len(args) == 3 {
+			if err := os.WriteFile(args[2], data, 0o644); err != nil {
+				die(err)
+			}
+			fmt.Printf("fetched %s (%d bytes, from %s) -> %s\n", args[1], len(data), src, args[2])
+		} else {
+			os.Stdout.Write(data)
+		}
+
+	case "ls":
+		names, err := cl.List()
+		if err != nil {
+			die(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "rm":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := cl.Delete(args[1]); err != nil {
+			die(err)
+		}
+		fmt.Printf("deleted %s\n", args[1])
+
+	case "prefetch":
+		if len(args) != 2 {
+			usage()
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil {
+			usage()
+		}
+		n, err := cl.Prefetch(k)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("prefetched %d files into buffer disks\n", n)
+
+	case "populate":
+		if len(args) != 2 {
+			usage()
+		}
+		tr := loadTrace(args[1])
+		if err := replay.PopulateByPopularity(cl, tr, replayOpts()); err != nil {
+			die(err)
+		}
+		fmt.Printf("populated %d files (popularity order)\n", tr.NumFiles())
+
+	case "replay":
+		if len(args) != 2 {
+			usage()
+		}
+		tr := loadTrace(args[1])
+		res, err := replay.Replay(cl, tr, replayOpts())
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("replayed %d reads, %d writes (%d errors) in %.1fs\n",
+			res.Reads, res.Writes, res.Errors, res.WallSeconds)
+		fmt.Printf("hit ratio %.1f%%  response %s\n", 100*res.HitRatio(), res.Response)
+
+	case "stats":
+		stats, err := cl.Stats()
+		if err != nil {
+			die(err)
+		}
+		var energy float64
+		var ups, downs int64
+		fmt.Printf("%-22s %-12s %10s %8s %8s %10s %12s\n",
+			"disk", "state", "energy(J)", "spin-up", "spin-dn", "requests", "bytes")
+		for _, d := range stats.Disks {
+			fmt.Printf("%-22s %-12s %10.1f %8d %8d %10d %12d\n",
+				d.Name, d.State, d.EnergyJ, d.SpinUps, d.SpinDowns, d.Requests, d.BytesMoved)
+			energy += d.EnergyJ
+			ups += d.SpinUps
+			downs += d.SpinDowns
+		}
+		fmt.Printf("total: %.1f J disk energy, %d power-state transitions\n", energy, ups+downs)
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: eevfs-client [-server host:port] <command>
+commands:
+  put <name> <local-file>   store a file
+  get <name> [local-file]   fetch a file (stdout if no target)
+  ls                        list files
+  rm <name>                 delete a file
+  prefetch <k>              prefetch the top-k popular files
+  populate <trace-file>     create a trace's files (popularity order)
+  replay <trace-file>       replay a trace (see -time-scale, -size-scale)
+  stats                     per-disk energy and power-state report`)
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "eevfs-client: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command eevfs-server runs the EEVFS storage-server daemon: it owns the
+// name -> storage-node metadata, journals accesses for popularity, routes
+// client requests, and commands prefetching on the storage nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"eevfs/internal/fs"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7000", "listen address")
+		nodes = flag.String("nodes", "", "comma-separated storage-node addresses (required)")
+		state = flag.String("state", "", "path for persisted metadata (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "eevfs-server: -nodes is required")
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+
+	srv, err := fs.StartServer(fs.ServerConfig{Addr: *addr, NodeAddrs: addrs, StateFile: *state})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eevfs-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("eevfs-server listening on %s, %d storage nodes\n", srv.Addr(), len(addrs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "eevfs-server: close: %v\n", err)
+		os.Exit(1)
+	}
+}

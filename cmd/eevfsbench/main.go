@@ -1,0 +1,131 @@
+// Command eevfsbench regenerates the paper's tables and figures from the
+// EEVFS cluster simulator. With no flags it runs every experiment in
+// DESIGN.md's per-experiment index and prints aligned text tables.
+//
+// Usage:
+//
+//	eevfsbench                     # run everything
+//	eevfsbench -exp fig3a          # one experiment
+//	eevfsbench -exp fig3a,fig4a    # several
+//	eevfsbench -markdown           # markdown output (EXPERIMENTS.md body)
+//	eevfsbench -plot               # ASCII bar charts for the figures
+//	eevfsbench -requests 200       # shrink traces for a quick pass
+//	eevfsbench -list               # list experiment ids
+//	eevfsbench -trace t.txt        # PF vs NPF on an external trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eevfs/internal/cluster"
+	"eevfs/internal/experiments"
+	"eevfs/internal/trace"
+)
+
+// runTraceFile simulates an external trace under PF and NPF on the
+// default testbed and prints the headline comparison.
+func runTraceFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Parse(f)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.DefaultTestbed()
+	pf, err := cluster.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+	npf, err := cluster.Run(cfg.NPF(), tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d files, %d requests, %.0f s span\n",
+		tr.NumFiles(), len(tr.Records), tr.Duration())
+	fmt.Printf("%-8s %14s %12s %14s %12s\n", "", "energy (J)", "transitions", "mean resp (s)", "hit ratio")
+	fmt.Printf("%-8s %14.0f %12d %14.3f %11.1f%%\n", "PF", pf.TotalEnergyJ, pf.Transitions, pf.Response.Mean, 100*pf.HitRatio())
+	fmt.Printf("%-8s %14.0f %12d %14.3f %11.1f%%\n", "NPF", npf.TotalEnergyJ, npf.Transitions, npf.Response.Mean, 100*npf.HitRatio())
+	fmt.Printf("savings: %.1f%%   response penalty: %.1f%%\n",
+		pf.EnergySavingsVs(npf), pf.ResponsePenaltyVs(npf))
+	return nil
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of aligned text")
+		plot     = flag.Bool("plot", false, "render the figures as ASCII bar charts")
+		requests = flag.Int("requests", 0, "override trace length (default 1000)")
+		seed     = flag.Uint64("seed", 0, "override workload seed (default 1)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		traceIn  = flag.String("trace", "", "run PF vs NPF on a trace file (eevfs-trace/1 format) and exit")
+	)
+	flag.Parse()
+
+	if *traceIn != "" {
+		if err := runTraceFile(*traceIn); err != nil {
+			fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *plot && *exp == "" {
+		ids = experiments.PlottableIDs()
+	}
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	opts := experiments.Options{Requests: *requests, Seed: *seed}
+
+	if *plot {
+		for _, id := range ids {
+			id = strings.TrimSpace(id)
+			chart, err := experiments.Plot(id, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := chart.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		t, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		var renderErr error
+		if *markdown {
+			renderErr = t.Markdown(os.Stdout)
+		} else {
+			renderErr = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "eevfsbench: rendering %s: %v\n", id, renderErr)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command tracegen emits synthetic EEVFS traces in the eevfs-trace/1 text
+// format, for feeding the simulator or replaying against the TCP
+// prototype.
+//
+//	tracegen -kind synthetic -mu 1000 -requests 1000 > trace.txt
+//	tracegen -kind web -working-set 60 > web.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eevfs/internal/trace"
+	"eevfs/internal/workload"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "synthetic", "workload kind: synthetic | web")
+		files      = flag.Int("files", 1000, "number of files")
+		requests   = flag.Int("requests", 1000, "number of requests")
+		sizeMB     = flag.Float64("size-mb", 10, "mean file size in MB")
+		mu         = flag.Float64("mu", 1000, "Poisson popularity parameter (synthetic)")
+		delayMS    = flag.Float64("delay-ms", 700, "inter-arrival delay in ms")
+		writeFrac  = flag.Float64("write-frac", 0, "write fraction (synthetic)")
+		workingSet = flag.Int("working-set", 60, "hot-set size (web)")
+		zipf       = flag.Float64("zipf", 1.1, "Zipf exponent (web)")
+		coldFrac   = flag.Float64("cold-frac", 0, "fraction of requests outside the hot set (web)")
+		seed       = flag.Uint64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch *kind {
+	case "synthetic":
+		tr, err = workload.Synthetic(workload.SyntheticConfig{
+			NumFiles:      *files,
+			NumRequests:   *requests,
+			MeanSize:      int64(*sizeMB * 1e6),
+			MU:            *mu,
+			InterArrival:  *delayMS / 1000,
+			WriteFraction: *writeFrac,
+			Seed:          *seed,
+		})
+	case "web":
+		tr, err = workload.BerkeleyWeb(workload.BerkeleyWebConfig{
+			NumFiles:     *files,
+			NumRequests:  *requests,
+			WorkingSet:   *workingSet,
+			ZipfExponent: *zipf,
+			ColdFraction: *coldFrac,
+			MeanSize:     int64(*sizeMB * 1e6),
+			InterArrival: *delayMS / 1000,
+			Seed:         *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,192 @@
+// Package eevfs is a reproduction of "Energy Efficient Prefetching with
+// Buffer Disks for Cluster File Systems" (Manzanares et al., ICPP 2010):
+// an energy-efficient virtual file system for cluster storage that places
+// data by popularity, prefetches hot files into always-on buffer disks,
+// and transitions lightly-loaded data disks into standby.
+//
+// The package exposes three layers:
+//
+//   - The cluster simulator (Simulate, DefaultTestbed): a deterministic
+//     discrete-event model of the paper's 8-node testbed that regenerates
+//     every published figure. This substitutes for the paper's physical
+//     power-measured cluster; see DESIGN.md for the substitution argument.
+//
+//   - Workload generators (SyntheticWorkload, BerkeleyWebWorkload): the
+//     Poisson-MU popularity traces of Table II and the web-trace
+//     equivalent of Fig. 6.
+//
+//   - The TCP prototype (StartServer, StartNode, Dial): a real
+//     distributed file system with a storage server, storage-node
+//     daemons whose disks are directories driven by the same power
+//     models, and a client library.
+//
+// Quick start:
+//
+//	tr, _ := eevfs.SyntheticWorkload(eevfs.DefaultSyntheticConfig())
+//	pf, _ := eevfs.Simulate(eevfs.DefaultTestbed(), tr)
+//	npf, _ := eevfs.Simulate(eevfs.DefaultTestbed().NPF(), tr)
+//	fmt.Printf("energy savings: %.1f%%\n", pf.EnergySavingsVs(npf))
+package eevfs
+
+import (
+	"eevfs/internal/baseline"
+	"eevfs/internal/cluster"
+	"eevfs/internal/disk"
+	"eevfs/internal/experiments"
+	"eevfs/internal/fs"
+	"eevfs/internal/replay"
+	"eevfs/internal/trace"
+	"eevfs/internal/workload"
+)
+
+// Simulation layer.
+type (
+	// SimConfig configures a simulated cluster run (policies + testbed).
+	SimConfig = cluster.Config
+	// SimNodeConfig describes one simulated storage node.
+	SimNodeConfig = cluster.NodeConfig
+	// SimResult carries one run's measurements: energy, transitions,
+	// response times, hit ratios.
+	SimResult = cluster.Result
+)
+
+// DefaultTestbed returns the simulated equivalent of the paper's Table I
+// testbed (8 storage nodes, 1 buffer + 2 data disks each, K=70, hints on).
+func DefaultTestbed() SimConfig { return cluster.DefaultTestbed() }
+
+// Simulate runs one deterministic cluster simulation of the trace.
+func Simulate(cfg SimConfig, tr *Trace) (SimResult, error) { return cluster.Run(cfg, tr) }
+
+// Workload layer.
+type (
+	// Trace is an ordered file-request stream plus per-file sizes.
+	Trace = trace.Trace
+	// TraceRecord is one request in a Trace.
+	TraceRecord = trace.Record
+	// SyntheticConfig parameterizes the Table II synthetic workloads.
+	SyntheticConfig = workload.SyntheticConfig
+	// BerkeleyWebConfig parameterizes the Fig. 6 web-trace equivalent.
+	BerkeleyWebConfig = workload.BerkeleyWebConfig
+	// DriftingConfig parameterizes a workload whose hot set moves over
+	// time (the ext-dynamic experiment).
+	DriftingConfig = workload.DriftingConfig
+)
+
+// DefaultSyntheticConfig returns the paper's default workload point
+// (1000 files, 1000 requests, 10 MB, MU=1000, 700 ms inter-arrival).
+func DefaultSyntheticConfig() SyntheticConfig { return workload.DefaultSynthetic() }
+
+// SyntheticWorkload generates a Table II synthetic trace.
+func SyntheticWorkload(cfg SyntheticConfig) (*Trace, error) { return workload.Synthetic(cfg) }
+
+// DefaultBerkeleyWebConfig returns the Fig. 6 workload configuration.
+func DefaultBerkeleyWebConfig() BerkeleyWebConfig { return workload.DefaultBerkeleyWeb() }
+
+// BerkeleyWebWorkload generates the web-trace-equivalent workload.
+func BerkeleyWebWorkload(cfg BerkeleyWebConfig) (*Trace, error) { return workload.BerkeleyWeb(cfg) }
+
+// DefaultDriftingConfig returns the 10-phase drifting workload used by
+// the dynamic re-prefetching experiment.
+func DefaultDriftingConfig() DriftingConfig { return workload.DefaultDrifting() }
+
+// DriftingWorkload generates a phase-shifting hot-set trace.
+func DriftingWorkload(cfg DriftingConfig) (*Trace, error) { return workload.Drifting(cfg) }
+
+// Disk models.
+type (
+	// DiskModel holds one drive type's performance and power parameters.
+	DiskModel = disk.Model
+)
+
+// Drive parameter sets for the testbed's drive types (Table I).
+var (
+	DiskModelType1 = disk.ModelType1
+	DiskModelType2 = disk.ModelType2
+)
+
+// TCP prototype layer.
+type (
+	// ServerConfig configures the storage-server daemon.
+	ServerConfig = fs.ServerConfig
+	// NodeConfig configures a storage-node daemon.
+	NodeConfig = fs.NodeConfig
+	// Server is a running storage-server daemon.
+	Server = fs.Server
+	// Node is a running storage-node daemon.
+	Node = fs.Node
+	// Client talks to a server for metadata and to nodes for data.
+	Client = fs.Client
+)
+
+// StartServer launches the storage-server daemon.
+func StartServer(cfg ServerConfig) (*Server, error) { return fs.StartServer(cfg) }
+
+// StartNode launches a storage-node daemon.
+func StartNode(cfg NodeConfig) (*Node, error) { return fs.StartNode(cfg) }
+
+// Dial connects a client to a storage server.
+func Dial(serverAddr string) (*Client, error) { return fs.Dial(serverAddr) }
+
+// Experiments layer.
+type (
+	// ExperimentOptions scales and seeds a regenerated experiment.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is a rendered table/figure artifact.
+	ExperimentTable = experiments.Table
+)
+
+// ExperimentIDs lists every regenerable table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure by id (e.g. "fig3a").
+func RunExperiment(id string, o ExperimentOptions) (ExperimentTable, error) {
+	return experiments.Run(id, o)
+}
+
+// Baseline comparators.
+type (
+	// BaselineName identifies a comparison system (MAID, PDC, ...).
+	BaselineName = baseline.Name
+	// BaselineComparison is one comparator's measured run.
+	BaselineComparison = baseline.Comparison
+)
+
+// The comparator set from Section II of the paper.
+var (
+	BaselineAlwaysOn     = baseline.AlwaysOn
+	BaselineThresholdDPM = baseline.ThresholdDPM
+	BaselineMAID         = baseline.MAID
+	BaselinePDC          = baseline.PDC
+	BaselineEEVFS        = baseline.EEVFS
+)
+
+// RunBaselines simulates the trace under every comparator.
+func RunBaselines(base SimConfig, tr *Trace) ([]BaselineComparison, error) {
+	return baseline.RunAll(base, tr)
+}
+
+// Trace replay against a live deployment.
+type (
+	// ReplayOptions controls pacing, size scaling, and naming for a
+	// replay against the TCP prototype.
+	ReplayOptions = replay.Options
+	// ReplayResult summarizes a replay run (client-observed response
+	// times, hit ratio, errors).
+	ReplayResult = replay.Result
+)
+
+// Populate creates a trace's files on a live cluster.
+func Populate(cl *Client, tr *Trace, opts ReplayOptions) error {
+	return replay.Populate(cl, tr, opts)
+}
+
+// PopulateByPopularity creates the files in descending popularity order,
+// the layout step of the paper's process flow.
+func PopulateByPopularity(cl *Client, tr *Trace, opts ReplayOptions) error {
+	return replay.PopulateByPopularity(cl, tr, opts)
+}
+
+// Replay replays a trace against a live cluster with scaled pacing.
+func Replay(cl *Client, tr *Trace, opts ReplayOptions) (ReplayResult, error) {
+	return replay.Replay(cl, tr, opts)
+}

@@ -1,0 +1,54 @@
+// Adaptive: PRE-BUD's "dynamically fetch the most popular data" on a
+// workload whose hot set drifts. The paper's prototype prefetched once, up
+// front; this example contrasts that with windowed re-prefetching that
+// follows the drift (DESIGN.md experiment X6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"eevfs"
+)
+
+func main() {
+	// Ten popularity epochs over 1000 files: the hot center moves from
+	// file ~0 to file ~900 as the trace progresses.
+	tr, err := eevfs.DriftingWorkload(eevfs.DefaultDriftingConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, mod func(*eevfs.SimConfig)) eevfs.SimResult {
+		cfg := eevfs.DefaultTestbed()
+		cfg.Hints = false // threshold sleeping, like-for-like across arms
+		mod(&cfg)
+		res, err := eevfs.Simulate(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	npf := run("npf", func(c *eevfs.SimConfig) { *c = c.NPF() })
+	static := run("static", func(c *eevfs.SimConfig) {})
+	dynamic := run("dynamic", func(c *eevfs.SimConfig) { c.ReprefetchEvery = 25 })
+
+	fmt.Println("Dynamic re-prefetching under popularity drift (10 epochs)")
+	fmt.Printf("%-18s %12s %10s %12s %12s\n",
+		"policy", "energy (J)", "hit ratio", "transitions", "resp (s)")
+	row := func(name string, r eevfs.SimResult) {
+		bar := strings.Repeat("#", int(40*r.HitRatio()))
+		fmt.Printf("%-18s %12.0f %9.1f%% %12d %12.3f  %s\n",
+			name, r.TotalEnergyJ, 100*r.HitRatio(), r.Transitions, r.Response.Mean, bar)
+	}
+	row("no prefetch", npf)
+	row("one-shot prefetch", static)
+	row("dynamic (PRE-BUD)", dynamic)
+	fmt.Println()
+	fmt.Println("The one-shot top-70 covers only the epochs it was computed over;")
+	fmt.Println("recomputing popularity from a sliding window every 25 requests lets")
+	fmt.Println("the buffer disks follow the hot set: more hits, fewer wake-ups,")
+	fmt.Println("less energy, faster responses.")
+}

@@ -1,0 +1,3 @@
+module eevfs
+
+go 1.24

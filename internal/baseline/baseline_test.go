@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"testing"
+
+	"eevfs/internal/cluster"
+	"eevfs/internal/trace"
+	"eevfs/internal/workload"
+)
+
+func webTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := workload.DefaultBerkeleyWeb()
+	cfg.NumRequests = 400
+	tr, err := workload.BerkeleyWeb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigureAllComparators(t *testing.T) {
+	base := cluster.DefaultTestbed()
+	for _, n := range All {
+		cfg, err := Configure(base, n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid config: %v", n, err)
+		}
+	}
+}
+
+func TestConfigureUnknown(t *testing.T) {
+	if _, err := Configure(cluster.DefaultTestbed(), Name("nope")); err == nil {
+		t.Fatal("unknown comparator accepted")
+	}
+}
+
+func TestConfigureProperties(t *testing.T) {
+	base := cluster.DefaultTestbed()
+
+	ao, _ := Configure(base, AlwaysOn)
+	if ao.Prefetch || ao.MAID || ao.DPMWithoutPrefetch {
+		t.Error("AlwaysOn should disable every policy")
+	}
+
+	dpm, _ := Configure(base, ThresholdDPM)
+	if !dpm.DPMWithoutPrefetch || dpm.Prefetch {
+		t.Error("ThresholdDPM misconfigured")
+	}
+
+	maid, _ := Configure(base, MAID)
+	if !maid.MAID || maid.Prefetch {
+		t.Error("MAID misconfigured")
+	}
+
+	pdc, _ := Configure(base, PDC)
+	if !pdc.Concentrate || !pdc.DPMWithoutPrefetch || pdc.Prefetch {
+		t.Error("PDC misconfigured")
+	}
+
+	ee, _ := Configure(base, EEVFS)
+	if !ee.Prefetch || ee.MAID || ee.Concentrate {
+		t.Error("EEVFS misconfigured")
+	}
+
+	// EEVFS from a base with K=0 gets the paper default.
+	base.PrefetchCount = 0
+	ee, _ = Configure(base, EEVFS)
+	if ee.PrefetchCount != 70 {
+		t.Errorf("EEVFS K = %d, want default 70", ee.PrefetchCount)
+	}
+}
+
+func TestRunAllOnWebTrace(t *testing.T) {
+	comps, err := RunAll(cluster.DefaultTestbed(), webTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != len(All) {
+		t.Fatalf("got %d comparisons, want %d", len(comps), len(All))
+	}
+
+	get := func(n Name) cluster.Result {
+		c, ok := Find(comps, n)
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		return c.Result
+	}
+
+	alwaysOn := get(AlwaysOn)
+	eevfs := get(EEVFS)
+	maid := get(MAID)
+
+	// The paper's headline: EEVFS beats the no-power-management baseline.
+	if eevfs.TotalEnergyJ >= alwaysOn.TotalEnergyJ {
+		t.Errorf("EEVFS %.0f J >= AlwaysOn %.0f J", eevfs.TotalEnergyJ, alwaysOn.TotalEnergyJ)
+	}
+	// AlwaysOn must have zero transitions; every DPM-family comparator
+	// produces at least one.
+	if alwaysOn.Transitions != 0 {
+		t.Errorf("AlwaysOn transitions = %d", alwaysOn.Transitions)
+	}
+	for _, n := range []Name{ThresholdDPM, PDC, EEVFS} {
+		if get(n).Transitions == 0 {
+			t.Errorf("%s produced no transitions", n)
+		}
+	}
+	// MAID warms its cache on access: on a skewed read-only trace it gets
+	// buffer hits, but strictly fewer than EEVFS's up-front prefetch.
+	if maid.BufferHits == 0 {
+		t.Error("MAID recorded no cache hits")
+	}
+	if maid.BufferHits > eevfs.BufferHits {
+		t.Errorf("MAID hits %d > EEVFS hits %d on a hot-set trace",
+			maid.BufferHits, eevfs.BufferHits)
+	}
+}
+
+func TestEEVFSWinsOnSkewedWorkload(t *testing.T) {
+	comps, err := RunAll(cluster.DefaultTestbed(), webTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranking := RankByEnergy(comps)
+	if ranking[0] != EEVFS {
+		t.Errorf("energy ranking = %v, want EEVFS first", ranking)
+	}
+	if ranking[len(ranking)-1] != AlwaysOn {
+		t.Errorf("energy ranking = %v, want AlwaysOn last", ranking)
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	if _, ok := Find(nil, EEVFS); ok {
+		t.Fatal("Find on empty slice returned ok")
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	bad := cluster.DefaultTestbed()
+	bad.IdleThresholdSec = -1
+	if _, err := RunAll(bad, webTrace(t)); err == nil {
+		t.Fatal("invalid base config accepted")
+	}
+}
+
+func TestMAIDCacheWarming(t *testing.T) {
+	// Repeated reads of the same file: first is a miss, the rest hit the
+	// MAID cache.
+	cfg, err := Configure(cluster.DefaultTestbed(), MAID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.DefaultSynthetic()
+	w.MU = 0 // every request hits file 0
+	w.NumRequests = 20
+	tr, err := workload.Synthetic(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BufferMisses != 1 || res.BufferHits != 19 {
+		t.Fatalf("hits=%d misses=%d, want 19/1", res.BufferHits, res.BufferMisses)
+	}
+}
+
+func BenchmarkRunAllComparators(b *testing.B) {
+	cfg := workload.DefaultBerkeleyWeb()
+	cfg.NumRequests = 300
+	tr, err := workload.BerkeleyWeb(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := cluster.DefaultTestbed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAll(base, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLowPowerBaselineTradesPerformance(t *testing.T) {
+	comps, err := RunAll(cluster.DefaultTestbed(), webTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, ok := Find(comps, LowPower)
+	if !ok {
+		t.Fatal("missing lowpower comparator")
+	}
+	ao, _ := Find(comps, AlwaysOn)
+	ee, _ := Find(comps, EEVFS)
+
+	// Low-power drives save energy over always-on high-performance
+	// drives, with zero transitions...
+	if lp.Result.TotalEnergyJ >= ao.Result.TotalEnergyJ {
+		t.Errorf("LowPower energy %.0f >= AlwaysOn %.0f",
+			lp.Result.TotalEnergyJ, ao.Result.TotalEnergyJ)
+	}
+	if lp.Result.Transitions != 0 {
+		t.Errorf("LowPower transitions = %d, want 0", lp.Result.Transitions)
+	}
+	// ...but pay for it in response time — the paper's argument for a
+	// file-system-level approach instead of a hardware swap.
+	if lp.Result.Response.Mean <= ao.Result.Response.Mean {
+		t.Errorf("LowPower response %.3f not slower than AlwaysOn %.3f",
+			lp.Result.Response.Mean, ao.Result.Response.Mean)
+	}
+	if lp.Result.Response.Mean <= ee.Result.Response.Mean {
+		t.Errorf("LowPower response %.3f not slower than EEVFS %.3f",
+			lp.Result.Response.Mean, ee.Result.Response.Mean)
+	}
+}

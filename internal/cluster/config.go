@@ -1,0 +1,241 @@
+// Package cluster implements the discrete-event simulation of a complete
+// EEVFS deployment: clients replaying a trace against a storage server
+// that routes requests to storage nodes, each of which manages a buffer
+// disk and several data disks with power management (Sections III and IV
+// of the paper).
+//
+// This simulator is the substitution for the paper's physical testbed: the
+// published metrics (energy, power-state transitions, response time) are
+// all functions of when each disk is busy, idle, or asleep, and the
+// simulator derives those timings from first principles — network and disk
+// queueing, spin-up latencies, and the prefetch plan.
+package cluster
+
+import (
+	"fmt"
+
+	"eevfs/internal/disk"
+)
+
+// NodeConfig describes one storage node.
+type NodeConfig struct {
+	// LinkMbps is the node NIC capacity in megabits per second
+	// (Table I: 1000 for Type 1, 100 for Type 2).
+	LinkMbps float64
+	// DataModel is the drive model of the node's data disks.
+	DataModel disk.Model
+	// BufferModel is the drive model of the node's buffer disk (the
+	// paper's prototype reuses the OS disk).
+	BufferModel disk.Model
+	// DataDisks is the number of data disks (must currently be uniform
+	// across nodes; the popularity round-robin depends on it).
+	DataDisks int
+	// BufferDisks is the number of buffer disks m (Section I: "each
+	// storage node contains m buffer disks and n data disks"; the
+	// prototype used m = 1). Zero means 1. Files hash across the buffer
+	// disks by id.
+	BufferDisks int
+}
+
+// Config describes a full simulated deployment plus the EEVFS policy
+// switches under test.
+type Config struct {
+	Nodes []NodeConfig
+
+	// NodeBasePowerW is the constant non-disk power draw of one storage
+	// node (CPU, RAM, NIC, fans). The paper measured whole-node wall
+	// power; this constant is what makes the simulated totals comparable
+	// in magnitude.
+	NodeBasePowerW float64
+
+	// IdleThresholdSec is Table II's "Disk Idle Threshold": the minimum
+	// predicted (or observed) idle period before a data disk is sent to
+	// standby. The paper fixes it at 5 s.
+	IdleThresholdSec float64
+
+	// MinSleepGapSec overrides the predictive-sleep gate. Zero means
+	// "use IdleThresholdSec", the paper's policy. Setting it to the
+	// disk's break-even time guarantees every sleep saves energy.
+	MinSleepGapSec float64
+
+	// Prefetch enables the buffer-disk prefetching mechanism (PF vs NPF
+	// in the figures). Without it the node never copies data and — unless
+	// DPMWithoutPrefetch is set — never sleeps disks, which is the
+	// paper's NPF baseline (no transitions, no response penalty).
+	Prefetch bool
+
+	// PrefetchCount is Table II's "Number of Files to Prefetch" (K),
+	// a global budget taken from the top of the popularity ranking.
+	PrefetchCount int
+
+	// Hints enables application hints (Section IV-C): the storage nodes
+	// receive the predicted access pattern and sleep disks proactively at
+	// the start of each predicted idle window. Without hints the node
+	// falls back to the reactive idle-threshold timer.
+	Hints bool
+
+	// Prewake additionally schedules disk spin-up SpinUpSec before the
+	// next predicted access, hiding the wake latency from clients. The
+	// paper's prototype woke disks on demand (its measured response-time
+	// penalties come from spin-ups), so this defaults to off; it is the
+	// X2 ablation.
+	Prewake bool
+
+	// DPMWithoutPrefetch applies the idle-threshold timer even when
+	// Prefetch is off (a classic DPM baseline, used by the baseline
+	// comparison experiments; the paper's NPF keeps disks spinning).
+	DPMWithoutPrefetch bool
+
+	// WriteBuffer uses free buffer-disk space as a write buffer for the
+	// data disks (Section III-C). Writes are acknowledged after the
+	// sequential log append and flushed to their data disk lazily.
+	WriteBuffer bool
+
+	// BufferCapacityBytes bounds buffer-disk occupancy (prefetched copies
+	// plus unflushed writes). Zero means bounded only by the drive's
+	// nominal capacity.
+	BufferCapacityBytes int64
+
+	// RouteLatencySec is the client -> server -> node control-path
+	// latency per request (metadata lookup plus two small messages).
+	RouteLatencySec float64
+
+	// MAID replaces EEVFS's popularity prefetch with MAID-style
+	// cache-on-access (Colarelli & Grunwald, Section II): the buffer disk
+	// caches files in LRU order after each miss, and data disks sleep on
+	// the reactive idle-threshold timer (MAID has no future knowledge).
+	// Mutually exclusive with Prefetch.
+	MAID bool
+
+	// Concentrate replaces the popularity round-robin with PDC-style
+	// placement (Pinheiro & Bianchini, Section II): the most popular
+	// files concentrated on the first disks so the remaining disks can
+	// sleep. Usually combined with DPMWithoutPrefetch.
+	Concentrate bool
+
+	// StripeChunkBytes stripes every file across the node's data disks in
+	// chunks of this size (the paper's Section VII future work:
+	// "striping techniques within EEVFS that can help improve the
+	// performance ... while still maintaining energy savings"). Zero
+	// keeps whole-file placement. Striping parallelizes data-disk reads
+	// (lower response time) at the cost of spreading residual load over
+	// more spindles (shorter idle windows).
+	StripeChunkBytes int64
+
+	// ReprefetchEvery re-runs the popularity analysis every N replayed
+	// requests, using the accesses observed so far, and refreshes the
+	// buffer-disk contents (PRE-BUD's "dynamically fetch the most
+	// popular data"). Zero keeps the single up-front prefetch the
+	// paper's prototype used. Only meaningful with Prefetch; ignored by
+	// the hint planner (hints assume the static plan).
+	ReprefetchEvery int
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: no storage nodes")
+	}
+	disks := c.Nodes[0].DataDisks
+	for i, n := range c.Nodes {
+		if n.LinkMbps <= 0 {
+			return fmt.Errorf("cluster: node %d link %g Mb/s", i, n.LinkMbps)
+		}
+		if n.DataDisks <= 0 {
+			return fmt.Errorf("cluster: node %d has %d data disks", i, n.DataDisks)
+		}
+		if n.DataDisks != disks {
+			return fmt.Errorf("cluster: heterogeneous data-disk counts (%d vs %d) are not supported", n.DataDisks, disks)
+		}
+		if n.BufferDisks < 0 {
+			return fmt.Errorf("cluster: node %d has %d buffer disks", i, n.BufferDisks)
+		}
+		if err := n.DataModel.Validate(); err != nil {
+			return fmt.Errorf("cluster: node %d data disk: %w", i, err)
+		}
+		if err := n.BufferModel.Validate(); err != nil {
+			return fmt.Errorf("cluster: node %d buffer disk: %w", i, err)
+		}
+	}
+	switch {
+	case c.NodeBasePowerW < 0:
+		return fmt.Errorf("cluster: negative node base power")
+	case c.IdleThresholdSec <= 0:
+		return fmt.Errorf("cluster: idle threshold must be positive")
+	case c.MinSleepGapSec < 0:
+		return fmt.Errorf("cluster: negative MinSleepGapSec")
+	case c.PrefetchCount < 0:
+		return fmt.Errorf("cluster: negative PrefetchCount")
+	case c.BufferCapacityBytes < 0:
+		return fmt.Errorf("cluster: negative BufferCapacityBytes")
+	case c.RouteLatencySec < 0:
+		return fmt.Errorf("cluster: negative RouteLatencySec")
+	case c.MAID && c.Prefetch:
+		return fmt.Errorf("cluster: MAID and Prefetch are mutually exclusive")
+	case c.MAID && c.WriteBuffer:
+		return fmt.Errorf("cluster: MAID does not implement the write buffer")
+	case c.StripeChunkBytes < 0:
+		return fmt.Errorf("cluster: negative StripeChunkBytes")
+	case c.ReprefetchEvery < 0:
+		return fmt.Errorf("cluster: negative ReprefetchEvery")
+	case c.ReprefetchEvery > 0 && !c.Prefetch:
+		return fmt.Errorf("cluster: ReprefetchEvery requires Prefetch")
+	case c.ReprefetchEvery > 0 && c.Hints:
+		return fmt.Errorf("cluster: ReprefetchEvery is incompatible with static Hints plans; disable Hints")
+	}
+	return nil
+}
+
+// DataDisksPerNode returns the uniform per-node data-disk count.
+func (c Config) DataDisksPerNode() int {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	return c.Nodes[0].DataDisks
+}
+
+// DefaultTestbed returns the simulated equivalent of Table I: eight
+// storage nodes — four Type 1 (1 Gb/s NIC, 58 MB/s disks) and four Type 2
+// (100 Mb/s NIC, 34 MB/s disks) — each with one buffer disk and two data
+// disks, 5 s idle threshold, prefetching with hints enabled and K = 70.
+func DefaultTestbed() Config {
+	nodes := make([]NodeConfig, 8)
+	for i := range nodes {
+		if i < 4 {
+			nodes[i] = NodeConfig{
+				LinkMbps:    1000,
+				DataModel:   disk.ModelType1,
+				BufferModel: disk.ModelType1,
+				DataDisks:   2,
+			}
+		} else {
+			nodes[i] = NodeConfig{
+				LinkMbps:    100,
+				DataModel:   disk.ModelType2,
+				BufferModel: disk.ModelType2,
+				DataDisks:   2,
+			}
+		}
+	}
+	return Config{
+		Nodes:            nodes,
+		NodeBasePowerW:   55,
+		IdleThresholdSec: 5,
+		Prefetch:         true,
+		PrefetchCount:    70,
+		Hints:            true,
+		RouteLatencySec:  0.001,
+	}
+}
+
+// NPF returns a copy of the configuration with prefetching (and therefore
+// power management) disabled — the paper's NPF comparison arm.
+func (c Config) NPF() Config {
+	c.Prefetch = false
+	c.Hints = false
+	c.Prewake = false
+	c.DPMWithoutPrefetch = false
+	c.MAID = false
+	c.Concentrate = false
+	return c
+}

@@ -1,0 +1,986 @@
+package cluster
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"eevfs/internal/disk"
+	"eevfs/internal/metrics"
+	"eevfs/internal/netmodel"
+	"eevfs/internal/placement"
+	"eevfs/internal/prefetch"
+	"eevfs/internal/simtime"
+	"eevfs/internal/trace"
+)
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opFlush
+	opInsert   // buffer-disk population (MAID cache fill, dynamic prefetch)
+	opPrefRead // data-disk read feeding a dynamic prefetch
+)
+
+// fanout tracks a striped operation spread over several data disks; the
+// client-visible completion happens when the last chunk finishes.
+type fanout struct {
+	remaining int
+	fileID    int
+	total     int64
+	sentAt    simtime.Time
+	kind      opKind
+}
+
+// request is one unit of disk work in flight through the simulator.
+type request struct {
+	kind   opKind
+	fileID int
+	size   int64
+	sentAt simtime.Time // client send time; zero-valued for flushes
+	fan    *fanout      // non-nil for chunks of a striped operation
+	// release lists, per buffer-disk index, the occupancy a completed
+	// flush frees (opFlush only).
+	release []int64
+}
+
+// simDisk wraps a disk state machine with its queue and power-management
+// bookkeeping.
+type simDisk struct {
+	d         *disk.Disk
+	node      *simNode
+	isBuffer  bool
+	dataIndex int // -1 for the buffer disk
+
+	queue []*request
+	busy  bool
+	cur   *request
+
+	// predicted holds the absolute times of accesses expected to reach
+	// this data disk (hints mode); predIdx advances as time passes.
+	predicted []float64
+	predIdx   int
+
+	idleTimer   *simtime.Event
+	prewake     *simtime.Event
+	wakePending bool
+
+	// sleepAllowed is the PRE-BUD gate (Section IV-C): hints predict
+	// whether any idle window on this disk clears the break-even test;
+	// when none does, the node "will not place disks into the standby
+	// state" at all, avoiding guaranteed-loss transitions.
+	sleepAllowed bool
+
+	pendingFlushBytes int64
+	// pendingPerBuffer tracks which buffer disks hold the unflushed
+	// bytes destined for this data disk.
+	pendingPerBuffer []int64
+}
+
+// simNode is one storage node: a NIC, m buffer disks, and n data disks
+// (the paper's BUD architecture, Section I: "each storage node contains m
+// buffer disks and n data disks", usually m < n).
+type simNode struct {
+	id      int
+	cfg     NodeConfig
+	link    *netmodel.Link
+	buffers []*simDisk
+	data    []*simDisk
+	bufUsed []int64 // occupancy per buffer disk
+	bufCap  int64   // capacity per buffer disk
+
+	// MAID cache state: file id -> element in the LRU list (front = most
+	// recently used). Only populated in MAID mode.
+	cache    map[int]*list.Element
+	cacheLRU *list.List // of int file ids
+}
+
+// sim carries one run's state.
+type sim struct {
+	cfg        Config
+	tr         *trace.Trace
+	eng        *simtime.Engine
+	nodes      []*simNode
+	assign     placement.Assignment
+	prefetched prefetch.Set
+	offset     simtime.Time
+
+	// Dynamic re-prefetching state (ReprefetchEvery > 0).
+	replayed       int
+	observedCounts []int
+	fetching       map[int]bool
+
+	// outstanding counts unfinished work items (unarrived or in-flight
+	// trace records, pending flushes, background buffer inserts). When it
+	// reaches zero the run is over: pending power-management timers are
+	// cancelled so they cannot stretch the measured makespan with phantom
+	// idle time.
+	outstanding int
+
+	resp      metrics.Sampler
+	readResp  metrics.Sampler
+	writeResp metrics.Sampler
+	res       Result
+}
+
+// bufferFor maps a file to its buffer disk (files hash across the m
+// buffer disks by id, mirroring the data-disk round-robin).
+func (n *simNode) bufferFor(fid int) (*simDisk, int) {
+	idx := fid % len(n.buffers)
+	return n.buffers[idx], idx
+}
+
+// bufferFits reports whether the file's buffer disk can absorb size more
+// bytes.
+func (n *simNode) bufferFits(fid int, size int64) bool {
+	_, idx := n.bufferFor(fid)
+	return n.bufUsed[idx]+size <= n.bufCap
+}
+
+// bufferReserve adds size bytes to the file's buffer disk occupancy.
+func (n *simNode) bufferReserve(fid int, size int64) {
+	_, idx := n.bufferFor(fid)
+	n.bufUsed[idx] += size
+}
+
+// bufferRelease frees size bytes from the file's buffer disk occupancy.
+func (n *simNode) bufferRelease(fid int, size int64) {
+	_, idx := n.bufferFor(fid)
+	n.bufUsed[idx] -= size
+}
+
+// chunk is one striped fragment: which data disk and how many bytes.
+type chunk struct {
+	disk  int
+	bytes int64
+}
+
+// chunksOf splits a file across the node's data disks (whole-file when
+// striping is off). Chunk c of file f lands on disk (primary + c) mod N,
+// so consecutive chunks parallelize across spindles.
+func (s *sim) chunksOf(fid int) []chunk {
+	size := s.tr.FileSizes[fid]
+	primary := s.assign.Disk[fid]
+	stripe := s.cfg.StripeChunkBytes
+	if stripe <= 0 || size <= stripe {
+		return []chunk{{disk: primary, bytes: size}}
+	}
+	disks := s.cfg.DataDisksPerNode()
+	var out []chunk
+	for off, c := int64(0), 0; off < size; off, c = off+stripe, c+1 {
+		n := stripe
+		if size-off < n {
+			n = size - off
+		}
+		out = append(out, chunk{disk: (primary + c) % disks, bytes: n})
+	}
+	return out
+}
+
+// Run simulates the trace against the configured cluster and returns the
+// measured result. Runs are fully deterministic.
+func Run(cfg Config, tr *trace.Trace) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	s := &sim{cfg: cfg, tr: tr, eng: &simtime.Engine{}, fetching: make(map[int]bool)}
+	if cfg.ReprefetchEvery > 0 {
+		s.observedCounts = make([]int, tr.NumFiles())
+	}
+	s.buildNodes()
+
+	counts := tr.Counts()
+	ranks := trace.RankByCount(counts)
+	place := placement.RoundRobin
+	if cfg.Concentrate {
+		place = placement.Concentrate
+	}
+	assign, err := place(ranks, len(cfg.Nodes), cfg.DataDisksPerNode())
+	if err != nil {
+		return Result{}, err
+	}
+	s.assign = assign
+
+	if cfg.Prefetch {
+		ids, err := prefetch.Select(counts, tr.FileSizes, cfg.PrefetchCount, s.globalBufferCap())
+		if err != nil {
+			return Result{}, err
+		}
+		s.prefetched = prefetch.NewSet(ids)
+		s.runPrefetchPhase(ids)
+	} else {
+		s.prefetched = prefetch.NewSet(nil)
+	}
+
+	if cfg.Prefetch && cfg.Hints {
+		s.buildPredictions()
+	}
+
+	// Replay: schedule every trace record's arrival at the storage node.
+	s.outstanding = len(tr.Records)
+	for i := range tr.Records {
+		rec := tr.Records[i]
+		sent := s.offset + simtime.Time(rec.TimeS)
+		s.eng.Schedule(sent+simtime.Time(cfg.RouteLatencySec), func(now simtime.Time) {
+			s.nodeArrival(now, rec, sent)
+		})
+	}
+
+	// Initial power-management pass at replay start: disks left idle
+	// after the prefetch phase may already face a long predicted gap.
+	for _, n := range s.nodes {
+		for _, d := range n.data {
+			d := d
+			s.eng.Schedule(s.offset, func(now simtime.Time) { s.onIdle(d, now) })
+		}
+	}
+
+	s.eng.Run()
+	s.finalFlush()
+	s.finalize()
+	return s.res, nil
+}
+
+func (s *sim) buildNodes() {
+	s.nodes = make([]*simNode, len(s.cfg.Nodes))
+	for i, nc := range s.cfg.Nodes {
+		n := &simNode{
+			id:   i,
+			cfg:  nc,
+			link: netmodel.NewLink(fmt.Sprintf("node%d", i), nc.LinkMbps, 0.0001),
+		}
+		buffers := nc.BufferDisks
+		if buffers <= 0 {
+			buffers = 1
+		}
+		for j := 0; j < buffers; j++ {
+			name := fmt.Sprintf("node%d/buffer", i)
+			if buffers > 1 {
+				name = fmt.Sprintf("node%d/buffer%d", i, j)
+			}
+			n.buffers = append(n.buffers, &simDisk{
+				d:         disk.New(name, nc.BufferModel),
+				node:      n,
+				isBuffer:  true,
+				dataIndex: -1,
+			})
+		}
+		n.bufUsed = make([]int64, buffers)
+		for j := 0; j < nc.DataDisks; j++ {
+			n.data = append(n.data, &simDisk{
+				d:         disk.New(fmt.Sprintf("node%d/data%d", i, j), nc.DataModel),
+				node:      n,
+				dataIndex: j,
+			})
+		}
+		n.bufCap = s.cfg.BufferCapacityBytes
+		if n.bufCap == 0 {
+			n.bufCap = int64(nc.BufferModel.CapacityGB * 1e9)
+		}
+		if s.cfg.MAID {
+			n.cache = make(map[int]*list.Element)
+			n.cacheLRU = list.New()
+		}
+		s.nodes[i] = n
+	}
+}
+
+// globalBufferCap returns the total buffer capacity across nodes, used to
+// bound the global prefetch selection.
+func (s *sim) globalBufferCap() int64 {
+	var total int64
+	for _, n := range s.nodes {
+		total += n.bufCap * int64(len(n.buffers))
+	}
+	return total
+}
+
+// runPrefetchPhase copies the selected files from their data disks into
+// their node's buffer disk, before trace replay begins (step 3 of the
+// process flow). The phase is simulated with per-disk time cursors: reads
+// on distinct data disks overlap, buffer-disk log appends serialize.
+func (s *sim) runPrefetchPhase(ids []int) {
+	nodeEnd := make([]simtime.Time, len(s.nodes))
+	dataFree := make([][]simtime.Time, len(s.nodes))
+	bufferFree := make([][]simtime.Time, len(s.nodes))
+	for i, n := range s.nodes {
+		dataFree[i] = make([]simtime.Time, len(n.data))
+		bufferFree[i] = make([]simtime.Time, len(n.buffers))
+	}
+
+	for _, fid := range ids {
+		ni := s.assign.Node[fid]
+		n := s.nodes[ni]
+		size := s.tr.FileSizes[fid]
+		if !n.bufferFits(fid, size) {
+			delete(s.prefetched, fid)
+			continue
+		}
+
+		// Read every chunk from its data disk (chunks on distinct disks
+		// overlap in time), then append the whole file to the buffer log.
+		var readEnd simtime.Time
+		for _, ch := range s.chunksOf(fid) {
+			dd := n.data[ch.disk]
+			start := dataFree[ni][ch.disk]
+			end := start + simtime.Time(n.cfg.DataModel.ServiceTime(ch.bytes))
+			dd.d.BeginService(start)
+			dd.d.EndService(end, ch.bytes)
+			dataFree[ni][ch.disk] = end
+			if end > readEnd {
+				readEnd = end
+			}
+		}
+
+		buf, bi := n.bufferFor(fid)
+		writeStart := bufferFree[ni][bi]
+		if readEnd > writeStart {
+			writeStart = readEnd
+		}
+		writeEnd := writeStart + simtime.Time(n.cfg.BufferModel.SequentialTime(size))
+		buf.d.BeginService(writeStart)
+		buf.d.EndService(writeEnd, size)
+		bufferFree[ni][bi] = writeEnd
+
+		n.bufferReserve(fid, size)
+		if writeEnd > nodeEnd[ni] {
+			nodeEnd[ni] = writeEnd
+		}
+		s.res.PrefetchedFiles++
+	}
+
+	for _, e := range nodeEnd {
+		if e > s.offset {
+			s.offset = e
+		}
+	}
+	// Integrate idle energy of every disk up to the cluster-wide phase
+	// end, so PrefetchEnergyJ is a clean snapshot.
+	for _, n := range s.nodes {
+		for _, b := range n.buffers {
+			b.d.Advance(s.offset)
+			s.res.PrefetchEnergyJ += b.d.Stats().EnergyJ
+		}
+		for _, d := range n.data {
+			d.d.Advance(s.offset)
+			s.res.PrefetchEnergyJ += d.d.Stats().EnergyJ
+		}
+	}
+	s.res.PrefetchEndSec = float64(s.offset)
+}
+
+// buildPredictions distributes the per-file access pattern to the data
+// disks (the server "splits the file access patterns based on the data
+// distribution and forwards [them] to each storage node", Section III-B).
+// Only residual traffic — files not prefetched, or writes that will reach
+// the data disk — is included.
+func (s *sim) buildPredictions() {
+	for _, rec := range s.tr.Records {
+		hitsBuffer := false
+		switch rec.Op {
+		case trace.Read:
+			hitsBuffer = s.prefetched[rec.FileID]
+		case trace.Write:
+			hitsBuffer = s.cfg.WriteBuffer
+		}
+		if hitsBuffer {
+			continue
+		}
+		n := s.nodes[s.assign.Node[rec.FileID]]
+		for _, ch := range s.chunksOf(rec.FileID) {
+			d := n.data[ch.disk]
+			d.predicted = append(d.predicted, float64(s.offset)+rec.TimeS)
+		}
+	}
+	horizon := float64(s.offset) + s.tr.Duration() + 30
+	for _, n := range s.nodes {
+		meanService := n.cfg.DataModel.ServiceTime(s.meanFileSize())
+		for _, d := range n.data {
+			sort.Float64s(d.predicted)
+			// PRE-BUD energy prediction: plan the sleeps this disk's
+			// residual pattern allows and keep power management enabled
+			// only if the plan actually saves energy.
+			busy := prefetch.BusyFromAccesses(d.predicted, meanService)
+			windows := prefetch.IdleWindows(busy, horizon)
+			plan := prefetch.PlanSleeps(windows, s.hintGate(n.cfg.DataModel))
+			d.sleepAllowed = prefetch.PredictSavings(busy, horizon, n.cfg.DataModel, plan) > 0
+		}
+	}
+}
+
+// meanFileSize returns the average file size, the service-time stand-in
+// the energy predictor uses.
+func (s *sim) meanFileSize() int64 {
+	if s.tr.NumFiles() == 0 {
+		return 0
+	}
+	var total int64
+	for _, sz := range s.tr.FileSizes {
+		total += sz
+	}
+	return total / int64(s.tr.NumFiles())
+}
+
+// nodeArrival handles a request reaching its storage node.
+func (s *sim) nodeArrival(now simtime.Time, rec trace.Record, sentAt simtime.Time) {
+	n := s.nodes[s.assign.Node[rec.FileID]]
+	s.noteAccess(rec.FileID, now)
+	switch rec.Op {
+	case trace.Read:
+		switch {
+		case s.cfg.Prefetch && s.prefetched[rec.FileID]:
+			s.res.BufferHits++
+			buf, _ := n.bufferFor(rec.FileID)
+			s.enqueue(buf, &request{kind: opRead, fileID: rec.FileID, size: rec.Size, sentAt: sentAt}, now)
+		case s.cfg.MAID && s.maidHit(n, rec.FileID):
+			s.res.BufferHits++
+			buf, _ := n.bufferFor(rec.FileID)
+			s.enqueue(buf, &request{kind: opRead, fileID: rec.FileID, size: rec.Size, sentAt: sentAt}, now)
+		default:
+			s.res.BufferMisses++
+			s.fanToDataDisks(n, rec.FileID, rec.Size, sentAt, opRead, now)
+		}
+
+	case trace.Write:
+		// Inbound data transfer over the node NIC, then the disk write.
+		_, end := n.link.Reserve(now, rec.Size)
+		s.eng.Schedule(end, func(now simtime.Time) {
+			s.writeArrived(n, rec, sentAt, now)
+		})
+	}
+}
+
+// noteAccess feeds the dynamic re-prefetcher (ReprefetchEvery > 0). The
+// popularity window is one re-prefetch interval: PRE-BUD derives
+// "popularity based on the number of accesses over a given period of
+// time" (Section IV-B), and a cumulative count would keep long-cold files
+// pinned in the buffer forever.
+func (s *sim) noteAccess(fileID int, now simtime.Time) {
+	if s.cfg.ReprefetchEvery <= 0 {
+		return
+	}
+	s.observedCounts[fileID]++
+	s.replayed++
+	if s.replayed%s.cfg.ReprefetchEvery == 0 {
+		s.reprefetch(now)
+		for i := range s.observedCounts {
+			s.observedCounts[i] = 0
+		}
+	}
+}
+
+// fanToDataDisks enqueues one request's chunks across the node's data
+// disks; with striping off this degenerates to a single enqueue.
+func (s *sim) fanToDataDisks(n *simNode, fileID int, size int64, sentAt simtime.Time, kind opKind, now simtime.Time) {
+	chunks := s.chunksOf(fileID)
+	fan := &fanout{remaining: len(chunks), fileID: fileID, total: size, sentAt: sentAt, kind: kind}
+	for _, ch := range chunks {
+		s.enqueue(n.data[ch.disk], &request{
+			kind: kind, fileID: fileID, size: ch.bytes, sentAt: sentAt, fan: fan,
+		}, now)
+	}
+}
+
+// writeArrived places a fully-received write on the buffer disk (if the
+// write-buffer area has room) or directly on the data disk(s).
+func (s *sim) writeArrived(n *simNode, rec trace.Record, sentAt, now simtime.Time) {
+	if s.cfg.Prefetch && s.cfg.WriteBuffer && n.bufferFits(rec.FileID, rec.Size) {
+		n.bufferReserve(rec.FileID, rec.Size)
+		_, bi := n.bufferFor(rec.FileID)
+		// The eventual flush lands on the same disks a direct write
+		// would have touched.
+		for _, ch := range s.chunksOf(rec.FileID) {
+			dd := n.data[ch.disk]
+			dd.pendingFlushBytes += ch.bytes
+			if dd.pendingPerBuffer == nil {
+				dd.pendingPerBuffer = make([]int64, len(n.buffers))
+			}
+			dd.pendingPerBuffer[bi] += ch.bytes
+		}
+		s.res.BufferedWrites++
+		buf, _ := n.bufferFor(rec.FileID)
+		s.enqueue(buf, &request{kind: opWrite, fileID: rec.FileID, size: rec.Size, sentAt: sentAt}, now)
+		return
+	}
+	s.res.DirectWrites++
+	s.fanToDataDisks(n, rec.FileID, rec.Size, sentAt, opWrite, now)
+}
+
+// enqueue adds a request to a disk queue and makes sure the disk is
+// coming up to serve it.
+func (s *sim) enqueue(d *simDisk, r *request, now simtime.Time) {
+	if d.idleTimer != nil {
+		s.eng.Cancel(d.idleTimer)
+		d.idleTimer = nil
+	}
+	d.queue = append(d.queue, r)
+	s.ensureAwake(d, now)
+}
+
+// ensureAwake drives the disk toward serving its queue, whatever power
+// state it is in.
+func (s *sim) ensureAwake(d *simDisk, now simtime.Time) {
+	switch d.d.State() {
+	case disk.Idle:
+		if !d.busy {
+			s.startService(d, now)
+		}
+	case disk.Active:
+		// diskDone will pick up the queue.
+	case disk.Standby:
+		s.beginSpinUp(d, now)
+	case disk.SpinningUp:
+		// spinUpDone will serve the queue.
+	case disk.SpinningDown:
+		d.wakePending = true
+	}
+}
+
+func (s *sim) beginSpinUp(d *simDisk, now simtime.Time) {
+	if d.prewake != nil {
+		s.eng.Cancel(d.prewake)
+		d.prewake = nil
+	}
+	d.d.BeginSpinUp(now)
+	s.eng.After(d.d.Model().SpinUpSec, func(now simtime.Time) {
+		d.d.CompleteSpinUp(now)
+		if len(d.queue) > 0 {
+			s.startService(d, now)
+		} else {
+			s.onIdle(d, now)
+		}
+	})
+}
+
+func (s *sim) startService(d *simDisk, now simtime.Time) {
+	r := d.queue[0]
+	d.queue = d.queue[1:]
+	d.busy = true
+	d.cur = r
+	d.d.BeginService(now)
+
+	var dur float64
+	m := d.d.Model()
+	switch {
+	case d.isBuffer && (r.kind == opWrite || r.kind == opInsert):
+		dur = m.SequentialTime(r.size) // log-structured append
+	default:
+		dur = m.ServiceTime(r.size)
+	}
+	s.eng.After(dur, func(now simtime.Time) { s.diskDone(d, now) })
+}
+
+func (s *sim) diskDone(d *simDisk, now simtime.Time) {
+	r := d.cur
+	d.d.EndService(now, r.size)
+	d.busy = false
+	d.cur = nil
+
+	switch r.kind {
+	case opRead:
+		if r.fan != nil {
+			// One striped chunk done; the response waits for the rest.
+			r.fan.remaining--
+			if r.fan.remaining == 0 {
+				s.completeRead(d.node, r.fan.fileID, r.fan.total, r.fan.sentAt, now)
+			}
+			break
+		}
+		s.completeRead(d.node, r.fileID, r.size, r.sentAt, now)
+	case opWrite:
+		if r.fan != nil {
+			r.fan.remaining--
+			if r.fan.remaining != 0 {
+				break
+			}
+		}
+		respAt := now + simtime.Time(s.cfg.RouteLatencySec)
+		s.eng.Schedule(respAt, func(now simtime.Time) {
+			s.record(r, float64(now-r.sentAt))
+		})
+	case opFlush:
+		for bi, amount := range r.release {
+			d.node.bufUsed[bi] -= amount
+		}
+		s.res.FlushedBytes += r.size
+		s.doneWork()
+	case opInsert:
+		// Buffer-disk population completed. For dynamic prefetch the
+		// file only now becomes servable from the buffer.
+		if s.fetching[r.fileID] {
+			delete(s.fetching, r.fileID)
+			s.prefetched[r.fileID] = true
+			s.res.PrefetchedFiles++
+		}
+		s.doneWork()
+	case opPrefRead:
+		// Dynamic-prefetch fetch read; when the last chunk lands, queue
+		// the buffer-disk log append.
+		r.fan.remaining--
+		if r.fan.remaining == 0 {
+			buf, _ := d.node.bufferFor(r.fan.fileID)
+			s.enqueue(buf, &request{
+				kind: opInsert, fileID: r.fan.fileID, size: r.fan.total,
+			}, now)
+		}
+	}
+
+	// MAID: a miss serviced by data disks is copied into the buffer
+	// disk's cache in LRU order (once, when the whole file is in).
+	if s.cfg.MAID && !d.isBuffer && r.kind == opRead &&
+		(r.fan == nil || r.fan.remaining == 0) {
+		size := r.size
+		if r.fan != nil {
+			size = r.fan.total
+		}
+		s.maidInsert(d.node, r.fileID, size, now)
+	}
+
+	if len(d.queue) > 0 {
+		s.startService(d, now)
+		return
+	}
+	s.onIdle(d, now)
+}
+
+// completeRead finishes a client read: outbound NIC transfer, then the
+// response sample.
+func (s *sim) completeRead(n *simNode, fileID int, size int64, sentAt, now simtime.Time) {
+	_, end := n.link.Reserve(now, size)
+	respAt := end + simtime.Time(s.cfg.RouteLatencySec)
+	rr := &request{kind: opRead, fileID: fileID, size: size, sentAt: sentAt}
+	s.eng.Schedule(respAt, func(now simtime.Time) {
+		s.record(rr, float64(now-rr.sentAt))
+	})
+}
+
+// reprefetch recomputes the popularity ranking from the accesses observed
+// so far and reconciles the buffer-disk contents: newly hot files are
+// fetched in the background, files that fell out of the top K are evicted
+// (metadata-only; the log-structured buffer reclaims space lazily).
+func (s *sim) reprefetch(now simtime.Time) {
+	ids, err := prefetch.Select(s.observedCounts, s.tr.FileSizes, s.cfg.PrefetchCount, 0)
+	if err != nil {
+		// Cannot happen: inputs are internally consistent.
+		panic(err)
+	}
+	want := prefetch.NewSet(ids)
+
+	// Fetch newly hot files. Eviction is capacity-driven only: cooled
+	// files stay as free buffer hits until their space is needed (the
+	// buffer is a cache, not a mirror of the ranking).
+	for _, fid := range ids {
+		if s.prefetched[fid] || s.fetching[fid] {
+			continue
+		}
+		n := s.nodes[s.assign.Node[fid]]
+		size := s.tr.FileSizes[fid]
+		_, bi := n.bufferFor(fid)
+		for !n.bufferFits(fid, size) {
+			if !s.evictColdest(n, bi, want) {
+				break
+			}
+		}
+		if !n.bufferFits(fid, size) {
+			continue
+		}
+		n.bufferReserve(fid, size)
+		s.fetching[fid] = true
+		s.addWork(1)
+		s.fanToDataDisks(n, fid, size, now, opPrefRead, now)
+	}
+}
+
+// evictColdest drops one prefetched file on the node's given buffer disk
+// that the current ranking no longer wants; it reports whether anything
+// was evicted.
+func (s *sim) evictColdest(n *simNode, bufIdx int, want prefetch.Set) bool {
+	victim := -1
+	for fid := range s.prefetched {
+		if !want[fid] && s.assign.Node[fid] == n.id && fid%len(n.buffers) == bufIdx {
+			if victim < 0 || fid < victim { // deterministic choice
+				victim = fid
+			}
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	delete(s.prefetched, victim)
+	n.bufferRelease(victim, s.tr.FileSizes[victim])
+	return true
+}
+
+func (s *sim) record(r *request, rt float64) {
+	s.resp.Add(rt)
+	if r.kind == opRead {
+		s.readResp.Add(rt)
+	} else {
+		s.writeResp.Add(rt)
+	}
+	s.doneWork()
+}
+
+// addWork registers n new work items (flushes, background inserts).
+func (s *sim) addWork(n int) { s.outstanding += n }
+
+// doneWork retires one work item; at zero the run quiesces.
+func (s *sim) doneWork() {
+	s.outstanding--
+	if s.outstanding == 0 {
+		s.quiesce()
+	}
+}
+
+// quiesce cancels every pending power-management event: the experiment is
+// over, and a timer firing later would only add measurement time in which
+// nothing happens (the paper's testbed stopped measuring when the trace
+// completed). In-flight spin-downs still finish (bounded by SpinDownSec).
+func (s *sim) quiesce() {
+	for _, n := range s.nodes {
+		for _, d := range n.data {
+			if d.idleTimer != nil {
+				s.eng.Cancel(d.idleTimer)
+				d.idleTimer = nil
+			}
+			if d.prewake != nil {
+				s.eng.Cancel(d.prewake)
+				d.prewake = nil
+			}
+		}
+	}
+}
+
+// minSleepGap returns the configured sleep gate.
+func (s *sim) minSleepGap() float64 {
+	if s.cfg.MinSleepGapSec > 0 {
+		return s.cfg.MinSleepGapSec
+	}
+	return s.cfg.IdleThresholdSec
+}
+
+// hintGate returns the effective predictive-sleep gate for a disk: the
+// configured gate, floored at the physical sleep/wake cycle time — a
+// window shorter than the two transitions cannot be slept at all.
+func (s *sim) hintGate(m disk.Model) float64 {
+	gate := s.minSleepGap()
+	if cycle := m.SpinDownSec + m.SpinUpSec; gate < cycle {
+		gate = cycle
+	}
+	return gate
+}
+
+// onIdle runs every time a disk's queue drains (and once at replay start).
+// It flushes pending write-buffer data and then applies the node's power
+// management policy (Section III-C).
+func (s *sim) onIdle(d *simDisk, now simtime.Time) {
+	if d.isBuffer {
+		return // the buffer disk must stay available (Section III-C)
+	}
+
+	// Piggyback the write-buffer flush on an awake, idle disk.
+	if d.pendingFlushBytes > 0 && d.d.State() == disk.Idle {
+		r := &request{kind: opFlush, size: d.pendingFlushBytes, release: d.pendingPerBuffer}
+		d.pendingFlushBytes = 0
+		d.pendingPerBuffer = nil
+		s.addWork(1)
+		d.queue = append(d.queue, r)
+		s.startService(d, now)
+		return
+	}
+
+	switch {
+	case s.cfg.Prefetch && s.cfg.Hints:
+		s.hintSleep(d, now)
+	case (s.cfg.Prefetch && !s.cfg.Hints) || s.cfg.DPMWithoutPrefetch || s.cfg.MAID:
+		s.armIdleTimer(d, now)
+	}
+}
+
+// maidHit reports whether the file is in the node's MAID cache and, if so,
+// promotes it to most recently used.
+func (s *sim) maidHit(n *simNode, fileID int) bool {
+	el, ok := n.cache[fileID]
+	if !ok {
+		return false
+	}
+	n.cacheLRU.MoveToFront(el)
+	return true
+}
+
+// maidInsert copies a just-missed file into the node's buffer-disk cache:
+// LRU entries are evicted until the file fits, then a background write is
+// queued on the buffer disk.
+func (s *sim) maidInsert(n *simNode, fileID int, size int64, now simtime.Time) {
+	if _, ok := n.cache[fileID]; ok {
+		return // raced with an earlier insert for the same file
+	}
+	if size > n.bufCap {
+		return // can never fit
+	}
+	_, bi := n.bufferFor(fileID)
+	for !n.bufferFits(fileID, size) {
+		// Evict LRU entries that live on the same buffer disk.
+		evicted := false
+		for el := n.cacheLRU.Back(); el != nil; el = el.Prev() {
+			victim := el.Value.(int)
+			if victim%len(n.buffers) != bi {
+				continue
+			}
+			n.cacheLRU.Remove(el)
+			delete(n.cache, victim)
+			n.bufferRelease(victim, s.tr.FileSizes[victim])
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+	n.bufferReserve(fileID, size)
+	n.cache[fileID] = n.cacheLRU.PushFront(fileID)
+	s.addWork(1)
+	buf, _ := n.bufferFor(fileID)
+	s.enqueue(buf, &request{kind: opInsert, fileID: fileID, size: size}, now)
+}
+
+// hintSleep applies the predictive policy: if the gap to the next
+// predicted access exceeds the sleep gate, transition to standby now.
+func (s *sim) hintSleep(d *simDisk, now simtime.Time) {
+	if !d.sleepAllowed {
+		return // PRE-BUD predicted no energy opportunity on this disk
+	}
+	if d.d.State() != disk.Idle || d.busy || len(d.queue) > 0 {
+		return
+	}
+	next, ok := s.nextPredicted(d, now)
+	gap := float64(0)
+	if ok {
+		gap = next - float64(now)
+	}
+	if ok && gap < s.hintGate(d.d.Model()) {
+		return // too short to be worth it; stay idle
+	}
+	// Either no predicted access remains (sleep until something real
+	// arrives) or the window is long enough.
+	s.beginSpinDown(d, now)
+	if s.cfg.Prewake && ok {
+		m := d.d.Model()
+		wakeAt := next - m.SpinUpSec
+		earliest := float64(now) + m.SpinDownSec
+		if wakeAt < earliest {
+			wakeAt = earliest
+		}
+		d.prewake = s.eng.Schedule(simtime.Time(wakeAt), func(now simtime.Time) {
+			d.prewake = nil
+			if d.d.State() == disk.Standby {
+				s.beginSpinUp(d, now)
+			}
+		})
+	}
+}
+
+// nextPredicted returns the next predicted access time strictly after
+// now (with a small lookback so requests already in flight through the
+// control path count as imminent).
+func (s *sim) nextPredicted(d *simDisk, now simtime.Time) (float64, bool) {
+	horizon := float64(now) - s.cfg.RouteLatencySec - 0.01
+	for d.predIdx < len(d.predicted) && d.predicted[d.predIdx] < horizon {
+		d.predIdx++
+	}
+	if d.predIdx >= len(d.predicted) {
+		return 0, false
+	}
+	return d.predicted[d.predIdx], true
+}
+
+// armIdleTimer starts the reactive threshold policy: if the disk is still
+// idle when the timer fires, it spins down.
+func (s *sim) armIdleTimer(d *simDisk, now simtime.Time) {
+	if d.idleTimer != nil {
+		s.eng.Cancel(d.idleTimer)
+	}
+	d.idleTimer = s.eng.After(s.cfg.IdleThresholdSec, func(now simtime.Time) {
+		d.idleTimer = nil
+		if d.d.State() == disk.Idle && !d.busy && len(d.queue) == 0 {
+			s.beginSpinDown(d, now)
+		}
+	})
+}
+
+func (s *sim) beginSpinDown(d *simDisk, now simtime.Time) {
+	d.d.BeginSpinDown(now)
+	s.eng.After(d.d.Model().SpinDownSec, func(now simtime.Time) {
+		d.d.CompleteSpinDown(now)
+		if d.wakePending || len(d.queue) > 0 {
+			d.wakePending = false
+			s.beginSpinUp(d, now)
+		}
+	})
+}
+
+// finalFlush drains any write-buffer data still unflushed when the trace
+// completes: the affected data disks are woken one last time.
+func (s *sim) finalFlush() {
+	for {
+		pending := false
+		for _, n := range s.nodes {
+			for _, d := range n.data {
+				if d.pendingFlushBytes > 0 {
+					pending = true
+					d := d
+					s.addWork(1)
+					s.eng.Schedule(s.eng.Now(), func(now simtime.Time) {
+						r := &request{kind: opFlush, size: d.pendingFlushBytes, release: d.pendingPerBuffer}
+						d.pendingFlushBytes = 0
+						d.pendingPerBuffer = nil
+						s.enqueue(d, r, now)
+					})
+				}
+			}
+		}
+		if !pending {
+			return
+		}
+		s.eng.Run()
+	}
+}
+
+// finalize integrates all remaining dwell energy and assembles the Result.
+func (s *sim) finalize() {
+	makespan := s.eng.Now()
+	s.res.MakespanSec = float64(makespan)
+	s.res.Requests = len(s.tr.Records)
+
+	for _, n := range s.nodes {
+		for _, b := range n.buffers {
+			b.d.Advance(makespan)
+			s.addDisk(b.d.Stats())
+		}
+		for _, d := range n.data {
+			d.d.Advance(makespan)
+			s.addDisk(d.d.Stats())
+		}
+		s.res.PerLink = append(s.res.PerLink, n.link.Stats())
+	}
+
+	s.res.BaseEnergyJ = s.cfg.NodeBasePowerW * float64(makespan) * float64(len(s.nodes))
+	s.res.TotalEnergyJ = s.res.BaseEnergyJ + s.res.DiskEnergyJ
+	s.res.Response = s.resp.Summarize()
+	s.res.ReadResponse = s.readResp.Summarize()
+	s.res.WriteResponse = s.writeResp.Summarize()
+}
+
+func (s *sim) addDisk(st disk.Stats) {
+	s.res.PerDisk = append(s.res.PerDisk, st)
+	s.res.DiskEnergyJ += st.EnergyJ
+	s.res.SpinUps += st.SpinUps
+	s.res.SpinDowns += st.SpinDowns
+	s.res.Transitions += st.Transitions()
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The tests below are the repository's paper-vs-measured gate: each pins a
+// shape reported in Section VI of the paper. They run the full-size
+// workloads (1000 requests) — the simulator finishes each sweep in tens of
+// milliseconds.
+
+func TestFig3aShapePFWinsAtEverySize(t *testing.T) {
+	s, err := DataSizeSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		savings := p.PF.EnergySavingsVs(p.NPF)
+		if savings <= 5 {
+			t.Errorf("size %s: savings %.1f%%, want > 5%%", p.Label, savings)
+		}
+		if savings > 30 {
+			t.Errorf("size %s: savings %.1f%% implausibly high", p.Label, savings)
+		}
+	}
+	// 50 MB inflates the total energy (longer makespan from queueing).
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	if last.NPF.TotalEnergyJ <= first.NPF.TotalEnergyJ {
+		t.Errorf("NPF energy at 50MB (%.3g) not above 1MB (%.3g)",
+			last.NPF.TotalEnergyJ, first.NPF.TotalEnergyJ)
+	}
+}
+
+func TestFig3bShapeMUCrossover(t *testing.T) {
+	s, err := MUSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PF energy essentially identical for MU in {1, 10, 100} (all data
+	// covered; disks sleep the whole trace) ...
+	e1, e10, e100, e1000 := s.Points[0].PF.TotalEnergyJ, s.Points[1].PF.TotalEnergyJ,
+		s.Points[2].PF.TotalEnergyJ, s.Points[3].PF.TotalEnergyJ
+	for _, pair := range [][2]float64{{e1, e10}, {e10, e100}} {
+		if math.Abs(pair[0]-pair[1])/pair[0] > 0.02 {
+			t.Errorf("PF energies for small MU differ: %g vs %g", pair[0], pair[1])
+		}
+	}
+	// ... while MU=1000 loses part of the gain.
+	s1000 := s.Points[3].PF.EnergySavingsVs(s.Points[3].NPF)
+	s100 := s.Points[2].PF.EnergySavingsVs(s.Points[2].NPF)
+	if s1000 >= s100 {
+		t.Errorf("MU=1000 savings %.1f%% not below MU=100 savings %.1f%%", s1000, s100)
+	}
+	if e1000 <= e100 {
+		t.Errorf("MU=1000 PF energy %g not above MU=100 %g", e1000, e100)
+	}
+}
+
+func TestFig3cShapeSavingsGrowWithDelayThenLevel(t *testing.T) {
+	s, err := DelaySweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		save[i] = p.PF.EnergySavingsVs(p.NPF)
+		if save[i] <= 0 {
+			t.Errorf("delay %s: non-positive savings %.1f%%", p.Label, save[i])
+		}
+	}
+	// The 700 ms and 1000 ms points beat the 350 ms point; the curve
+	// levels off (no more than 2 points of further growth at 1000 ms).
+	if save[2] <= save[1] {
+		t.Errorf("savings at 700ms (%.1f%%) not above 350ms (%.1f%%)", save[2], save[1])
+	}
+	if save[3]-save[2] > 2 {
+		t.Errorf("savings still growing strongly at 1000ms: %.1f%% -> %.1f%%", save[2], save[3])
+	}
+}
+
+func TestFig3dShapeSavingsGrowWithK(t *testing.T) {
+	s, err := PrefetchCountSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range s.Points {
+		sv := p.PF.EnergySavingsVs(p.NPF)
+		if sv < prev {
+			t.Errorf("savings not monotone in K at %s: %.1f%% < %.1f%%", p.Label, sv, prev)
+		}
+		prev = sv
+	}
+	k10 := s.Points[0].PF.EnergySavingsVs(s.Points[0].NPF)
+	k100 := s.Points[3].PF.EnergySavingsVs(s.Points[3].NPF)
+	if k100-k10 < 2 {
+		t.Errorf("K=100 savings %.1f%% not clearly above K=10 %.1f%%", k100, k10)
+	}
+}
+
+func TestFig4bShapeTransitionCrossover(t *testing.T) {
+	s, err := MUSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDataDisks := 16 // default testbed: 8 nodes x 2 data disks
+	for _, p := range s.Points[:3] {
+		// MU <= 100: each data disk sleeps once at the start and stays
+		// asleep: exactly one spin-down per disk, no spin-ups.
+		if p.PF.Transitions != nDataDisks {
+			t.Errorf("MU=%s transitions = %d, want %d (one sleep per disk)",
+				p.Label, p.PF.Transitions, nDataDisks)
+		}
+		if p.PF.SpinUps != 0 {
+			t.Errorf("MU=%s spin-ups = %d, want 0", p.Label, p.PF.SpinUps)
+		}
+	}
+	// MU=1000: hundreds of transitions (paper's log-scale jump).
+	if tr := s.Points[3].PF.Transitions; tr < 100 {
+		t.Errorf("MU=1000 transitions = %d, want hundreds", tr)
+	}
+}
+
+func TestFig4dShapeK10MaximizesTransitions(t *testing.T) {
+	s, err := PrefetchCountSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.MaxInt
+	for _, p := range s.Points {
+		if p.PF.Transitions > prev {
+			t.Errorf("transitions not decreasing in K at %s: %d > %d",
+				p.Label, p.PF.Transitions, prev)
+		}
+		prev = p.PF.Transitions
+	}
+	if s.Points[0].PF.Transitions < 3*s.Points[3].PF.Transitions {
+		t.Errorf("K=10 transitions (%d) not dominating K=100 (%d)",
+			s.Points[0].PF.Transitions, s.Points[3].PF.Transitions)
+	}
+}
+
+func TestFig5aShapePenaltyShrinksWithSize(t *testing.T) {
+	s, err := DataSizeSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, p := range s.Points {
+		pen := p.PF.ResponsePenaltyVs(p.NPF)
+		if pen >= prev {
+			t.Errorf("penalty not shrinking at %s: %.1f%% >= %.1f%%", p.Label, pen, prev)
+		}
+		prev = pen
+	}
+	// Large relative penalty at 1 MB (paper: 121%), tolerable at 25 MB
+	// (paper: 4%).
+	if pen := s.Points[0].PF.ResponsePenaltyVs(s.Points[0].NPF); pen < 50 {
+		t.Errorf("1MB penalty %.1f%%, want the paper's 'large at small sizes' regime", pen)
+	}
+	if pen := s.Points[2].PF.ResponsePenaltyVs(s.Points[2].NPF); pen > 50 {
+		t.Errorf("25MB penalty %.1f%%, want tolerable (<50%%)", pen)
+	}
+}
+
+func TestFig5bShapeNoPenaltyWhenDisksSleepWholeTrace(t *testing.T) {
+	s, err := MUSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points[:3] {
+		if pen := math.Abs(p.PF.ResponsePenaltyVs(p.NPF)); pen > 2 {
+			t.Errorf("MU=%s penalty %.1f%%, want ~0", p.Label, pen)
+		}
+	}
+	if pen := s.Points[3].PF.ResponsePenaltyVs(s.Points[3].NPF); pen < 10 {
+		t.Errorf("MU=1000 penalty %.1f%%, want visible", pen)
+	}
+}
+
+func TestFig6ShapeWebTrace(t *testing.T) {
+	s, err := BerkeleyWebSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Points[0]
+	savings := p.PF.EnergySavingsVs(p.NPF)
+	// Paper: ~17%; our calibrated testbed lands ~15%. Accept 12..20.
+	if savings < 12 || savings > 20 {
+		t.Errorf("web-trace savings %.1f%%, want ~15%% (paper: 17%%)", savings)
+	}
+	// All data disks stayed in standby for the entire trace.
+	if p.PF.SpinUps != 0 {
+		t.Errorf("spin-ups = %d, want 0 (disks standby for whole trace)", p.PF.SpinUps)
+	}
+	if p.PF.HitRatio() != 1 {
+		t.Errorf("hit ratio %.3f, want 1.0", p.PF.HitRatio())
+	}
+}
+
+func TestExtDisksShapeSavingsGrowWithDisks(t *testing.T) {
+	s, err := DisksPerNodeSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range s.Points {
+		sv := p.PF.EnergySavingsVs(p.NPF)
+		if sv <= prev {
+			t.Errorf("savings not growing with disks at %s: %.1f%% <= %.1f%%",
+				p.Label, sv, prev)
+		}
+		prev = sv
+	}
+}
+
+func TestRegistryRunsEveryExperiment(t *testing.T) {
+	o := Options{Requests: 120}
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != id {
+				t.Errorf("table id %q != %q", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("empty table")
+			}
+			var text, md bytes.Buffer
+			if err := tab.Render(&text); err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Markdown(&md); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(text.String(), id) || !strings.Contains(md.String(), id) {
+				t.Error("rendered output missing experiment id")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsStableAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(Registry))
+	}
+	if ids[0] != "tableI" || ids[1] != "tableII" {
+		t.Errorf("tables should come first: %v", ids[:3])
+	}
+	// Figures in paper order before extensions.
+	figDone := false
+	for _, id := range ids[2:] {
+		isExt := strings.HasPrefix(id, "ext-")
+		if figDone && !isExt {
+			t.Errorf("figure %s after extensions", id)
+		}
+		if isExt {
+			figDone = true
+		}
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	tab := Table{ID: "x", Columns: []string{"a", "b"}}
+	tab.AddRow("only-one")
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.requests() != 1000 || o.seed() != 1 {
+		t.Errorf("defaults: requests=%d seed=%d", o.requests(), o.seed())
+	}
+	if err := o.testbed().Validate(); err != nil {
+		t.Errorf("default testbed invalid: %v", err)
+	}
+}
+
+func BenchmarkFig3bSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MUSweep(Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestExtThresholdTradeoff(t *testing.T) {
+	tab, err := Run("ext-threshold", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 3 is transitions: must fall monotonically as the threshold
+	// grows (fewer sleep opportunities pass the gate).
+	prev := math.MaxInt
+	for _, row := range tab.Rows {
+		var tr int
+		if _, err := fmt.Sscanf(row[3], "%d", &tr); err != nil {
+			t.Fatalf("bad transitions cell %q", row[3])
+		}
+		if tr > prev {
+			t.Fatalf("transitions rose with threshold: %v", tab.Rows)
+		}
+		prev = tr
+	}
+}
+
+func TestExtScaleSavingsStable(t *testing.T) {
+	w := DefaultTestbedSavingsSpread(t)
+	if w > 5 {
+		t.Fatalf("savings spread across cluster sizes = %.1f points, want <= 5", w)
+	}
+}
+
+// DefaultTestbedSavingsSpread runs the scale experiment and returns the
+// max-min savings across cluster sizes (helper shared with the test
+// above; exported name keeps the call site readable).
+func DefaultTestbedSavingsSpread(t *testing.T) float64 {
+	t.Helper()
+	tab, err := Run("ext-scale", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range tab.Rows {
+		var s float64
+		if _, err := fmt.Sscanf(row[3], "%f%%", &s); err != nil {
+			t.Fatalf("bad savings cell %q", row[3])
+		}
+		min = math.Min(min, s)
+		max = math.Max(max, s)
+	}
+	return max - min
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ASCII bar charts for the figure experiments, so `eevfsbench -plot`
+// produces something that reads like the paper's Figs. 3-5: grouped bars
+// per sweep point, one group per x-axis value, PF and NPF side by side.
+
+// Series is one plotted line/bar group.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a grouped-bar chart over shared x labels.
+type Chart struct {
+	Title   string
+	Unit    string
+	XLabels []string
+	Series  []Series
+}
+
+// Validate reports structural problems (mismatched lengths).
+func (c Chart) Validate() error {
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("experiments: series %q has %d values for %d labels",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+	}
+	return nil
+}
+
+// Render draws the chart with horizontal bars, one group per x label.
+func (c Chart) Render(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+
+	maxVal := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	labelW, nameW := 0, 0
+	for _, l := range c.XLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	const barW = 46
+	for i, label := range c.XLabels {
+		for j, s := range c.Series {
+			lbl := ""
+			if j == 0 {
+				lbl = label
+			}
+			n := int(s.Values[i] / maxVal * barW)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%-*s %s %s\n",
+				labelW, lbl, nameW, s.Name, barW, strings.Repeat("#", n),
+				strconv.FormatFloat(s.Values[i], 'g', 4, 64), c.Unit)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// EnergyChart builds the Fig. 3-style grouped chart from a sweep.
+func (s Sweep) EnergyChart(title string) Chart {
+	c := Chart{Title: title, Unit: "J"}
+	pf := Series{Name: "PF"}
+	npf := Series{Name: "NPF"}
+	for _, p := range s.Points {
+		c.XLabels = append(c.XLabels, p.Label)
+		pf.Values = append(pf.Values, p.PF.TotalEnergyJ)
+		npf.Values = append(npf.Values, p.NPF.TotalEnergyJ)
+	}
+	c.Series = []Series{pf, npf}
+	return c
+}
+
+// TransitionsChart builds the Fig. 4-style chart from a sweep.
+func (s Sweep) TransitionsChart(title string) Chart {
+	c := Chart{Title: title, Unit: "transitions"}
+	pf := Series{Name: "PF"}
+	for _, p := range s.Points {
+		c.XLabels = append(c.XLabels, p.Label)
+		pf.Values = append(pf.Values, float64(p.PF.Transitions))
+	}
+	c.Series = []Series{pf}
+	return c
+}
+
+// ResponseChart builds the Fig. 5-style grouped chart from a sweep.
+func (s Sweep) ResponseChart(title string) Chart {
+	c := Chart{Title: title, Unit: "s"}
+	pf := Series{Name: "PF"}
+	npf := Series{Name: "NPF"}
+	for _, p := range s.Points {
+		c.XLabels = append(c.XLabels, p.Label)
+		pf.Values = append(pf.Values, p.PF.Response.Mean)
+		npf.Values = append(npf.Values, p.NPF.Response.Mean)
+	}
+	c.Series = []Series{pf, npf}
+	return c
+}
+
+// figureCharts maps plottable experiment ids to chart builders over their
+// sweep.
+var figureCharts = map[string]func(Sweep) Chart{
+	"fig3a": func(s Sweep) Chart { return s.EnergyChart("Fig. 3(a) energy vs data size") },
+	"fig3b": func(s Sweep) Chart { return s.EnergyChart("Fig. 3(b) energy vs MU") },
+	"fig3c": func(s Sweep) Chart { return s.EnergyChart("Fig. 3(c) energy vs inter-arrival delay") },
+	"fig3d": func(s Sweep) Chart { return s.EnergyChart("Fig. 3(d) energy vs prefetch count") },
+	"fig4a": func(s Sweep) Chart { return s.TransitionsChart("Fig. 4(a) transitions vs data size") },
+	"fig4b": func(s Sweep) Chart { return s.TransitionsChart("Fig. 4(b) transitions vs MU") },
+	"fig4c": func(s Sweep) Chart { return s.TransitionsChart("Fig. 4(c) transitions vs inter-arrival delay") },
+	"fig4d": func(s Sweep) Chart { return s.TransitionsChart("Fig. 4(d) transitions vs prefetch count") },
+	"fig5a": func(s Sweep) Chart { return s.ResponseChart("Fig. 5(a) response vs data size") },
+	"fig5b": func(s Sweep) Chart { return s.ResponseChart("Fig. 5(b) response vs MU") },
+	"fig5c": func(s Sweep) Chart { return s.ResponseChart("Fig. 5(c) response vs inter-arrival delay") },
+	"fig5d": func(s Sweep) Chart { return s.ResponseChart("Fig. 5(d) response vs prefetch count") },
+	"fig6":  func(s Sweep) Chart { return s.EnergyChart("Fig. 6 energy, Berkeley-web-equivalent trace") },
+}
+
+// figureSweeps maps plottable experiment ids to their sweep runners.
+var figureSweeps = map[string]func(Options) (Sweep, error){
+	"fig3a": DataSizeSweep, "fig4a": DataSizeSweep, "fig5a": DataSizeSweep,
+	"fig3b": MUSweep, "fig4b": MUSweep, "fig5b": MUSweep,
+	"fig3c": DelaySweep, "fig4c": DelaySweep, "fig5c": DelaySweep,
+	"fig3d": PrefetchCountSweep, "fig4d": PrefetchCountSweep, "fig5d": PrefetchCountSweep,
+	"fig6": BerkeleyWebSweep,
+}
+
+// PlottableIDs lists experiments that can render as charts, in id order.
+func PlottableIDs() []string {
+	var ids []string
+	for _, id := range IDs() {
+		if _, ok := figureSweeps[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Plot runs the experiment's sweep and returns its chart. Unknown or
+// non-plottable ids error.
+func Plot(id string, o Options) (Chart, error) {
+	sweepFn, ok := figureSweeps[id]
+	if !ok {
+		return Chart{}, fmt.Errorf("experiments: %q is not plottable", id)
+	}
+	sweep, err := sweepFn(o)
+	if err != nil {
+		return Chart{}, err
+	}
+	return figureCharts[id](sweep), nil
+}

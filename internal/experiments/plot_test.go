@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlottableIDsAllResolve(t *testing.T) {
+	ids := PlottableIDs()
+	if len(ids) != 13 { // fig3a-d, fig4a-d, fig5a-d, fig6
+		t.Fatalf("got %d plottable ids: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if !strings.HasPrefix(id, "fig") {
+			t.Errorf("non-figure id %q plottable", id)
+		}
+	}
+}
+
+func TestPlotRendersEveryFigure(t *testing.T) {
+	o := Options{Requests: 80}
+	for _, id := range PlottableIDs() {
+		t.Run(id, func(t *testing.T) {
+			chart, err := Plot(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := chart.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "#") {
+				t.Errorf("chart has no bars:\n%s", out)
+			}
+			if !strings.Contains(out, chart.Unit) {
+				t.Errorf("chart missing unit %q", chart.Unit)
+			}
+		})
+	}
+}
+
+func TestPlotUnknownID(t *testing.T) {
+	if _, err := Plot("tableI", Options{}); err == nil {
+		t.Fatal("non-plottable id accepted")
+	}
+	if _, err := Plot("nope", Options{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestChartValidate(t *testing.T) {
+	c := Chart{
+		Title:   "t",
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{1}}},
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("Render accepted invalid chart")
+	}
+}
+
+func TestChartRenderScalesBars(t *testing.T) {
+	c := Chart{
+		Title:   "scale",
+		Unit:    "u",
+		XLabels: []string{"lo", "hi"},
+		Series:  []Series{{Name: "s", Values: []float64{1, 100}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	loBar := strings.Count(lines[1], "#")
+	hiBar := strings.Count(lines[2], "#")
+	if hiBar <= loBar || hiBar < 40 {
+		t.Fatalf("bar scaling wrong: lo=%d hi=%d", loBar, hiBar)
+	}
+}
+
+func TestChartAllZeroValues(t *testing.T) {
+	c := Chart{
+		Title:   "zeros",
+		XLabels: []string{"a"},
+		Series:  []Series{{Name: "s", Values: []float64{0}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"eevfs/internal/cluster"
+	"eevfs/internal/disk"
+	"eevfs/internal/trace"
+	"eevfs/internal/workload"
+)
+
+// Options scales and seeds an experiment run. The zero value means "the
+// paper's parameters"; tests shrink Requests to keep CI fast.
+type Options struct {
+	// Requests overrides the trace length (paper: 1000).
+	Requests int
+	// Seed overrides the workload seed (default 1).
+	Seed uint64
+	// Testbed overrides the cluster shape; nil fields fall back to
+	// cluster.DefaultTestbed().
+	Testbed *cluster.Config
+}
+
+func (o Options) requests() int {
+	if o.Requests > 0 {
+		return o.Requests
+	}
+	return 1000
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+func (o Options) testbed() cluster.Config {
+	if o.Testbed != nil {
+		return *o.Testbed
+	}
+	return cluster.DefaultTestbed()
+}
+
+func (o Options) synthetic() workload.SyntheticConfig {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumRequests = o.requests()
+	cfg.Seed = o.seed()
+	return cfg
+}
+
+// Point is one sweep position with both comparison arms.
+type Point struct {
+	Label string
+	Value float64
+	PF    cluster.Result
+	NPF   cluster.Result
+}
+
+// Sweep is one experiment axis (Figs. 3/4/5 share one sweep per axis).
+type Sweep struct {
+	Name   string // "data-size", "mu", "delay", "prefetch-count", ...
+	Param  string // column header for the swept value
+	Points []Point
+}
+
+// runPoint simulates both arms for one workload/config pair.
+func runPoint(label string, value float64, cfg cluster.Config, tr *trace.Trace) (Point, error) {
+	pf, err := cluster.Run(cfg, tr)
+	if err != nil {
+		return Point{}, fmt.Errorf("experiments: %s PF: %w", label, err)
+	}
+	npf, err := cluster.Run(cfg.NPF(), tr)
+	if err != nil {
+		return Point{}, fmt.Errorf("experiments: %s NPF: %w", label, err)
+	}
+	return Point{Label: label, Value: value, PF: pf, NPF: npf}, nil
+}
+
+// DataSizeSweep is the Figs. 3(a)/4(a)/5(a) axis: mean data size in
+// {1, 10, 25, 50} MB with MU=1000, K=70, 700 ms inter-arrival.
+func DataSizeSweep(o Options) (Sweep, error) {
+	s := Sweep{Name: "data-size", Param: "size"}
+	for _, mb := range []int{1, 10, 25, 50} {
+		w := o.synthetic()
+		w.MeanSize = int64(mb) * 1e6
+		tr, err := workload.Synthetic(w)
+		if err != nil {
+			return Sweep{}, err
+		}
+		p, err := runPoint(fmt.Sprintf("%dMB", mb), float64(mb), o.testbed(), tr)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// MUSweep is the Figs. 3(b)/4(b)/5(b) axis: MU in {1, 10, 100, 1000} with
+// 10 MB files, K=70, 700 ms inter-arrival.
+func MUSweep(o Options) (Sweep, error) {
+	s := Sweep{Name: "mu", Param: "MU"}
+	for _, mu := range []float64{1, 10, 100, 1000} {
+		w := o.synthetic()
+		w.MU = mu
+		tr, err := workload.Synthetic(w)
+		if err != nil {
+			return Sweep{}, err
+		}
+		p, err := runPoint(fmt.Sprintf("%.0f", mu), mu, o.testbed(), tr)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// DelaySweep is the Figs. 3(c)/4(c)/5(c) axis: inter-arrival delay in
+// {0, 350, 700, 1000} ms with 10 MB files, MU=1000, K=70.
+func DelaySweep(o Options) (Sweep, error) {
+	s := Sweep{Name: "delay", Param: "delay"}
+	for _, ms := range []float64{0, 350, 700, 1000} {
+		w := o.synthetic()
+		w.InterArrival = ms / 1000
+		tr, err := workload.Synthetic(w)
+		if err != nil {
+			return Sweep{}, err
+		}
+		p, err := runPoint(fmt.Sprintf("%.0fms", ms), ms, o.testbed(), tr)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// PrefetchCountSweep is the Figs. 3(d)/4(d)/5(d) axis: K in
+// {10, 40, 70, 100} with 10 MB files, MU=1000, 700 ms inter-arrival.
+func PrefetchCountSweep(o Options) (Sweep, error) {
+	s := Sweep{Name: "prefetch-count", Param: "K"}
+	tr, err := workload.Synthetic(o.synthetic())
+	if err != nil {
+		return Sweep{}, err
+	}
+	for _, k := range []int{10, 40, 70, 100} {
+		cfg := o.testbed()
+		cfg.PrefetchCount = k
+		p, err := runPoint(fmt.Sprintf("%d", k), float64(k), cfg, tr)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// BerkeleyWebSweep is the Fig. 6 experiment: the web-trace-equivalent
+// workload (10 MB data size, K=70).
+func BerkeleyWebSweep(o Options) (Sweep, error) {
+	w := workload.DefaultBerkeleyWeb()
+	w.NumRequests = o.requests()
+	w.Seed = o.seed()
+	tr, err := workload.BerkeleyWeb(w)
+	if err != nil {
+		return Sweep{}, err
+	}
+	p, err := runPoint("web", 0, o.testbed(), tr)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Name: "berkeley-web", Param: "trace", Points: []Point{p}}, nil
+}
+
+// DisksPerNodeSweep is extension X1 (the paper's Section VII claim that
+// savings grow as more data disks are added per storage node): data disks
+// per node in {1, 2, 4, 8} on the fully-covered MU=100 workload.
+func DisksPerNodeSweep(o Options) (Sweep, error) {
+	s := Sweep{Name: "disks-per-node", Param: "data disks"}
+	w := o.synthetic()
+	w.MU = 100
+	tr, err := workload.Synthetic(w)
+	if err != nil {
+		return Sweep{}, err
+	}
+	for _, nd := range []int{1, 2, 4, 8} {
+		cfg := o.testbed()
+		for i := range cfg.Nodes {
+			cfg.Nodes[i].DataDisks = nd
+		}
+		p, err := runPoint(fmt.Sprintf("%d", nd), float64(nd), cfg, tr)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// EnergyTable renders the sweep as a Fig. 3-style energy table.
+func (s Sweep) EnergyTable(id, title string, notes ...string) Table {
+	t := Table{
+		ID: id, Title: title,
+		Columns: []string{s.Param, "PF energy (J)", "NPF energy (J)", "savings"},
+		Notes:   notes,
+	}
+	for _, p := range s.Points {
+		t.AddRow(p.Label, fmtJ(p.PF.TotalEnergyJ), fmtJ(p.NPF.TotalEnergyJ),
+			fmtPct(p.PF.EnergySavingsVs(p.NPF)))
+	}
+	return t
+}
+
+// TransitionsTable renders the sweep as a Fig. 4-style transitions table.
+// The wear column extrapolates the worst disk's sleep-cycle rate to the
+// years it would take to exhaust a 50k start/stop rating (the paper's
+// Section VI-B reliability concern).
+func (s Sweep) TransitionsTable(id, title string, notes ...string) Table {
+	t := Table{
+		ID: id, Title: title,
+		Columns: []string{s.Param, "transitions", "spin-ups", "spin-downs", "worst wear (yr)"},
+		Notes:   notes,
+	}
+	for _, p := range s.Points {
+		wear := p.PF.WorstWearYears(disk.RatedStartStopCycles)
+		wearStr := "inf"
+		if !math.IsInf(wear, 1) {
+			wearStr = fmt.Sprintf("%.1f", wear)
+		}
+		t.AddRow(p.Label,
+			fmt.Sprintf("%d", p.PF.Transitions),
+			fmt.Sprintf("%d", p.PF.SpinUps),
+			fmt.Sprintf("%d", p.PF.SpinDowns),
+			wearStr)
+	}
+	return t
+}
+
+// ResponseTable renders the sweep as a Fig. 5-style response-time table.
+func (s Sweep) ResponseTable(id, title string, notes ...string) Table {
+	t := Table{
+		ID: id, Title: title,
+		Columns: []string{s.Param, "PF resp (s)", "NPF resp (s)", "penalty"},
+		Notes:   notes,
+	}
+	for _, p := range s.Points {
+		t.AddRow(p.Label, fmtS(p.PF.Response.Mean), fmtS(p.NPF.Response.Mean),
+			fmtPct(p.PF.ResponsePenaltyVs(p.NPF)))
+	}
+	return t
+}

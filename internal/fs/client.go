@@ -1,0 +1,209 @@
+package fs
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"eevfs/internal/proto"
+)
+
+// Client talks to a storage server for metadata and directly to storage
+// nodes for data (steps 5-6 of the paper's process flow). Safe for
+// concurrent use; each underlying connection carries one round trip at a
+// time.
+type Client struct {
+	mu     sync.Mutex
+	server net.Conn
+	nodes  map[string]net.Conn
+}
+
+// Dial connects to the storage server.
+func Dial(serverAddr string) (*Client, error) {
+	conn, err := net.Dial("tcp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fs: dialing server %s: %w", serverAddr, err)
+	}
+	return &Client{server: conn, nodes: make(map[string]net.Conn)}, nil
+}
+
+// Close shuts down all connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.server.Close()
+	for _, conn := range c.nodes {
+		conn.Close()
+	}
+	c.nodes = map[string]net.Conn{}
+	return err
+}
+
+// serverRT performs one round trip on the server connection.
+func (c *Client) serverRT(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return proto.RoundTrip(c.server, t, payload)
+}
+
+// nodeRT performs one round trip on a (cached) node connection.
+func (c *Client) nodeRT(addr string, t proto.Type, payload []byte) (proto.Type, []byte, error) {
+	c.mu.Lock()
+	conn, ok := c.nodes[addr]
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", addr)
+		if err != nil {
+			c.mu.Unlock()
+			return 0, nil, fmt.Errorf("fs: dialing node %s: %w", addr, err)
+		}
+		c.nodes[addr] = conn
+	}
+	rt, rp, err := proto.RoundTrip(conn, t, payload)
+	if err != nil && !isRemoteErr(err) {
+		// Transport failure: drop the cached connection so the next call
+		// redials.
+		conn.Close()
+		delete(c.nodes, addr)
+	}
+	c.mu.Unlock()
+	return rt, rp, err
+}
+
+// Create registers a new file with the server and uploads its content to
+// the assigned storage node.
+func (c *Client) Create(name string, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("fs: refusing to create empty file %q", name)
+	}
+	_, payload, err := c.serverRT(proto.TCreateReq,
+		proto.CreateReq{Name: name, Size: int64(len(data))}.Encode())
+	if err != nil {
+		return err
+	}
+	resp, err := proto.DecodeCreateResp(payload)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.nodeRT(resp.NodeAddr, proto.TNodeWriteReq,
+		proto.NodeWriteReq{FileID: resp.FileID, Data: data}.Encode())
+	return err
+}
+
+// Read fetches a file. fromBuffer reports whether the storage node served
+// it from its buffer disk.
+func (c *Client) Read(name string) (data []byte, fromBuffer bool, err error) {
+	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	loc, err := proto.DecodeLookupResp(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	_, payload, err = c.nodeRT(loc.NodeAddr, proto.TNodeReadReq,
+		proto.NodeReadReq{FileID: loc.FileID}.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := proto.DecodeNodeReadResp(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]byte, len(resp.Data))
+	copy(out, resp.Data)
+	return out, resp.FromBuffer, nil
+}
+
+// ReadAt fetches length bytes of a file starting at off. fromBuffer
+// reports whether the storage node's buffer disk served the range.
+func (c *Client) ReadAt(name string, off, length int64) (data []byte, fromBuffer bool, err error) {
+	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	loc, err := proto.DecodeLookupResp(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	_, payload, err = c.nodeRT(loc.NodeAddr, proto.TNodeReadAtReq,
+		proto.NodeReadAtReq{FileID: loc.FileID, Offset: off, Length: length}.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := proto.DecodeNodeReadResp(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]byte, len(resp.Data))
+	copy(out, resp.Data)
+	return out, resp.FromBuffer, nil
+}
+
+// Write replaces a file's content. buffered reports whether the node's
+// write-buffer area absorbed it (Section III-C).
+func (c *Client) Write(name string, data []byte) (buffered bool, err error) {
+	if len(data) == 0 {
+		return false, fmt.Errorf("fs: refusing to write empty content to %q", name)
+	}
+	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode())
+	if err != nil {
+		return false, err
+	}
+	loc, err := proto.DecodeLookupResp(payload)
+	if err != nil {
+		return false, err
+	}
+	_, payload, err = c.nodeRT(loc.NodeAddr, proto.TNodeWriteReq,
+		proto.NodeWriteReq{FileID: loc.FileID, Data: data}.Encode())
+	if err != nil {
+		return false, err
+	}
+	resp, err := proto.DecodeNodeWriteResp(payload)
+	if err != nil {
+		return false, err
+	}
+	return resp.Buffered, nil
+}
+
+// List returns all file names.
+func (c *Client) List() ([]string, error) {
+	_, payload, err := c.serverRT(proto.TListReq, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := proto.DecodeListResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Delete removes a file.
+func (c *Client) Delete(name string) error {
+	_, _, err := c.serverRT(proto.TDeleteReq, proto.DeleteReq{Name: name}.Encode())
+	return err
+}
+
+// Prefetch asks the server to prefetch the top-k popular files into the
+// storage nodes' buffer disks; it returns how many files were copied.
+func (c *Client) Prefetch(k int) (int, error) {
+	_, payload, err := c.serverRT(proto.TPrefetchReq, proto.PrefetchReq{K: int64(k)}.Encode())
+	if err != nil {
+		return 0, err
+	}
+	resp, err := proto.DecodePrefetchResp(payload)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Prefetched), nil
+}
+
+// Stats fetches cluster-wide per-disk accounting.
+func (c *Client) Stats() (proto.StatsResp, error) {
+	_, payload, err := c.serverRT(proto.TStatsReq, nil)
+	if err != nil {
+		return proto.StatsResp{}, err
+	}
+	return proto.DecodeStatsResp(payload)
+}

@@ -1,0 +1,925 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"eevfs/internal/disk"
+	"eevfs/internal/metadata"
+	"eevfs/internal/proto"
+	"eevfs/internal/simtime"
+)
+
+// NodeConfig configures one storage-node daemon.
+type NodeConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// test port).
+	Addr string
+	// RootDir holds the disk directories: data0..dataN-1 and buffer.
+	RootDir string
+	// DataDisks is the number of data disks (directories).
+	DataDisks int
+	// DataModel and BufferModel are the drive models backing latency
+	// injection and energy accounting.
+	DataModel   disk.Model
+	BufferModel disk.Model
+	// IdleThresholdSec sends a data disk to standby after this much model
+	// time without requests (Section III-C). Zero disables DPM.
+	IdleThresholdSec float64
+	// TimeScale is model seconds per real second (see Clock).
+	TimeScale float64
+	// InjectLatency sleeps the modeled service and transition times.
+	// Disable only for benchmarks of the protocol itself.
+	InjectLatency bool
+	// WriteBuffer stores incoming writes on the buffer disk's log and
+	// flushes them to the data disk lazily (Section III-C).
+	WriteBuffer bool
+	// BufferCapacityBytes bounds the buffer disk's occupancy (prefetched
+	// copies plus unflushed buffered writes). Zero means unbounded —
+	// directories have no spindle-sized limit, but a deployment standing
+	// in for a real drive should set this.
+	BufferCapacityBytes int64
+	// StripeChunkBytes stripes file content across the node's data disks
+	// in chunks of this size (the paper's Section VII striping proposal).
+	// Chunk reads and writes proceed in parallel across the spindles.
+	// Zero stores each file whole on one data disk.
+	StripeChunkBytes int64
+	// Logger receives operational messages (nil = log.Default).
+	Logger *log.Logger
+}
+
+func (c NodeConfig) validate() error {
+	switch {
+	case c.RootDir == "":
+		return errors.New("fs: node RootDir required")
+	case c.DataDisks <= 0:
+		return fmt.Errorf("fs: node needs at least one data disk, got %d", c.DataDisks)
+	case c.IdleThresholdSec < 0:
+		return errors.New("fs: negative idle threshold")
+	case c.StripeChunkBytes < 0:
+		return errors.New("fs: negative stripe chunk size")
+	case c.BufferCapacityBytes < 0:
+		return errors.New("fs: negative buffer capacity")
+	}
+	if err := c.DataModel.Validate(); err != nil {
+		return err
+	}
+	return c.BufferModel.Validate()
+}
+
+// nodeDisk pairs a disk state machine with its backing directory. The
+// mutex serializes all access — a real drive has one head.
+type nodeDisk struct {
+	mu       sync.Mutex
+	d        *disk.Disk
+	dir      string
+	isBuffer bool
+	index    int // data-disk index; -1 for the buffer disk
+	timer    *time.Timer
+}
+
+// Node is a running storage-node daemon.
+type Node struct {
+	cfg    NodeConfig
+	clock  *Clock
+	ln     net.Listener
+	meta   *metadata.NodeMap
+	buffer *nodeDisk
+	data   []*nodeDisk
+	logger *log.Logger
+
+	mu         sync.Mutex
+	nextDisk   int             // round-robin cursor for file creation
+	dirty      map[int]int64   // fileID -> size awaiting flush to its data disk
+	hints      map[int]float64 // fileID -> mean inter-arrival (model sec)
+	lastAccess map[int]float64 // fileID -> model time of the last request
+	closing    bool
+	conns      map[net.Conn]struct{}
+	wg         sync.WaitGroup
+	hits       int64
+	misses     int64
+	bufWrites  int64
+}
+
+// StartNode creates the disk directories, binds the listener, and starts
+// serving.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(os.Stderr, "eevfs-node ", log.LstdFlags)
+	}
+	n := &Node{
+		cfg:        cfg,
+		clock:      NewClock(cfg.TimeScale),
+		meta:       metadata.NewNodeMap(),
+		logger:     cfg.Logger,
+		dirty:      make(map[int]int64),
+		hints:      make(map[int]float64),
+		lastAccess: make(map[int]float64),
+		conns:      make(map[net.Conn]struct{}),
+	}
+
+	bufDir := filepath.Join(cfg.RootDir, "buffer")
+	if err := os.MkdirAll(bufDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fs: creating buffer dir: %w", err)
+	}
+	n.buffer = &nodeDisk{d: disk.New("buffer", cfg.BufferModel), dir: bufDir, isBuffer: true, index: -1}
+	for i := 0; i < cfg.DataDisks; i++ {
+		dir := filepath.Join(cfg.RootDir, fmt.Sprintf("data%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("fs: creating data dir %d: %w", i, err)
+		}
+		n.data = append(n.data, &nodeDisk{
+			d:     disk.New(fmt.Sprintf("data%d", i), cfg.DataModel),
+			dir:   dir,
+			index: i,
+		})
+	}
+
+	if err := n.loadManifest(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the daemon, flushes the write buffer, and waits for
+// connections to drain.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closing = true
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	n.flushAll()
+	n.saveManifest()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closing {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		t, payload, err := proto.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := n.dispatch(conn, t, payload); err != nil {
+			werr := proto.WriteFrame(conn, proto.TError, proto.ErrorMsg{Msg: err.Error()}.Encode())
+			if werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (n *Node) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
+	switch t {
+	case proto.TNodeCreateReq:
+		req, err := proto.DecodeNodeCreateReq(payload)
+		if err != nil {
+			return err
+		}
+		if err := n.handleCreate(req); err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TNodeCreateResp, nil)
+
+	case proto.TNodeWriteReq:
+		req, err := proto.DecodeNodeWriteReq(payload)
+		if err != nil {
+			return err
+		}
+		buffered, err := n.handleWrite(req)
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TNodeWriteResp,
+			proto.NodeWriteResp{Buffered: buffered}.Encode())
+
+	case proto.TNodeReadReq:
+		req, err := proto.DecodeNodeReadReq(payload)
+		if err != nil {
+			return err
+		}
+		data, fromBuffer, err := n.handleRead(req.FileID)
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TNodeReadResp,
+			proto.NodeReadResp{FromBuffer: fromBuffer, Data: data}.Encode())
+
+	case proto.TNodeDeleteReq:
+		req, err := proto.DecodeNodeDeleteReq(payload)
+		if err != nil {
+			return err
+		}
+		if err := n.handleDelete(req.FileID); err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TNodeDeleteResp, nil)
+
+	case proto.TNodePrefetchReq:
+		req, err := proto.DecodeNodePrefetchReq(payload)
+		if err != nil {
+			return err
+		}
+		count := n.handlePrefetch(req.FileIDs)
+		return proto.WriteFrame(conn, proto.TNodePrefetchResp,
+			proto.PrefetchResp{Prefetched: count}.Encode())
+
+	case proto.TNodeReadAtReq:
+		req, err := proto.DecodeNodeReadAtReq(payload)
+		if err != nil {
+			return err
+		}
+		data, fromBuffer, err := n.handleReadAt(req)
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TNodeReadAtResp,
+			proto.NodeReadResp{FromBuffer: fromBuffer, Data: data}.Encode())
+
+	case proto.TNodeHintsReq:
+		req, err := proto.DecodeNodeHintsReq(payload)
+		if err != nil {
+			return err
+		}
+		n.handleHints(req)
+		return proto.WriteFrame(conn, proto.TNodeHintsResp, nil)
+
+	case proto.TNodeStatsReq:
+		return proto.WriteFrame(conn, proto.TNodeStatsResp, n.statsResp().Encode())
+
+	default:
+		return fmt.Errorf("fs: node got unexpected message type %d", t)
+	}
+}
+
+// fileName is the on-disk name for a file id.
+func fileName(id int64) string { return fmt.Sprintf("f%08d.dat", id) }
+
+// chunkName is the on-disk name for one stripe chunk of a file.
+func chunkName(id int64, chunk int) string {
+	return fmt.Sprintf("f%08d.c%03d.dat", id, chunk)
+}
+
+// stripeSpans splits size into chunk lengths under the configured stripe
+// size; a single-element result means "store whole".
+func (n *Node) stripeSpans(size int64) []int64 {
+	stripe := n.cfg.StripeChunkBytes
+	if stripe <= 0 || size <= stripe || len(n.data) < 2 {
+		return []int64{size}
+	}
+	var spans []int64
+	for off := int64(0); off < size; off += stripe {
+		s := stripe
+		if size-off < s {
+			s = size - off
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+// writeDataFile stores content on the data disks: whole-file on the
+// entry's primary disk, or striped across the spindles in parallel.
+func (n *Node) writeDataFile(entry metadata.NodeEntry, data []byte) error {
+	spans := n.stripeSpans(int64(len(data)))
+	if len(spans) == 1 {
+		return n.diskWrite(n.data[entry.Disk], fileName(int64(entry.ID)), data, false)
+	}
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	off := int64(0)
+	for i, span := range spans {
+		dd := n.data[(entry.Disk+i)%len(n.data)]
+		part := data[off : off+span]
+		wg.Add(1)
+		go func(i int, dd *nodeDisk, part []byte) {
+			defer wg.Done()
+			errs[i] = n.diskWrite(dd, chunkName(int64(entry.ID), i), part, false)
+		}(i, dd, part)
+		off += span
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readDataFile reassembles content from the data disks.
+func (n *Node) readDataFile(entry metadata.NodeEntry) ([]byte, error) {
+	spans := n.stripeSpans(entry.Size)
+	if len(spans) == 1 {
+		return n.diskRead(n.data[entry.Disk], fileName(int64(entry.ID)))
+	}
+	parts := make([][]byte, len(spans))
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i := range spans {
+		dd := n.data[(entry.Disk+i)%len(n.data)]
+		wg.Add(1)
+		go func(i int, dd *nodeDisk) {
+			defer wg.Done()
+			parts[i], errs[i] = n.diskRead(dd, chunkName(int64(entry.ID), i))
+		}(i, dd)
+	}
+	wg.Wait()
+	var out []byte
+	for i := range spans {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, parts[i]...)
+	}
+	return out, nil
+}
+
+// removeDataFile deletes whole-file and chunk representations.
+func (n *Node) removeDataFile(entry metadata.NodeEntry) {
+	os.Remove(filepath.Join(n.data[entry.Disk].dir, fileName(int64(entry.ID))))
+	for i := range n.stripeSpans(entry.Size) {
+		dd := n.data[(entry.Disk+i)%len(n.data)]
+		os.Remove(filepath.Join(dd.dir, chunkName(int64(entry.ID), i)))
+	}
+}
+
+func (n *Node) handleCreate(req proto.NodeCreateReq) error {
+	if req.Size <= 0 {
+		return fmt.Errorf("fs: create file %d with size %d", req.FileID, req.Size)
+	}
+	n.mu.Lock()
+	diskIdx := n.nextDisk % len(n.data)
+	n.nextDisk++
+	n.mu.Unlock()
+	// Creation order is popularity order (Section IV-A): the round-robin
+	// cursor load-balances popular files across the node's data disks.
+	if err := n.meta.Put(metadata.NodeEntry{
+		ID:   int(req.FileID),
+		Size: req.Size,
+		Disk: diskIdx,
+	}); err != nil {
+		return err
+	}
+	n.saveManifest()
+	return nil
+}
+
+func (n *Node) handleWrite(req proto.NodeWriteReq) (bool, error) {
+	entry, ok := n.meta.Lookup(int(req.FileID))
+	if !ok {
+		return false, fmt.Errorf("fs: write to unknown file %d", req.FileID)
+	}
+	n.noteAccess(int(req.FileID))
+	name := fileName(req.FileID)
+
+	if n.cfg.WriteBuffer && n.bufferHasRoom(int64(len(req.Data))) {
+		// Append-style write into the buffer disk's log area; the data
+		// disk stays asleep. Flush happens lazily.
+		if err := n.diskWrite(n.buffer, name, req.Data, true); err != nil {
+			return false, err
+		}
+		n.mu.Lock()
+		n.dirty[int(req.FileID)] = int64(len(req.Data))
+		n.bufWrites++
+		n.mu.Unlock()
+		n.updateSize(entry, len(req.Data))
+		n.saveManifest()
+		return true, nil
+	}
+
+	if err := n.writeDataFile(entry, req.Data); err != nil {
+		return false, err
+	}
+	// A direct write supersedes any buffer-disk copy: drop stale
+	// prefetched replicas and unflushed log entries so reads cannot see
+	// old content.
+	n.mu.Lock()
+	_, wasDirty := n.dirty[int(req.FileID)]
+	delete(n.dirty, int(req.FileID))
+	n.mu.Unlock()
+	if entry.Prefetched || wasDirty {
+		n.meta.SetPrefetched(int(req.FileID), false)
+		os.Remove(filepath.Join(n.buffer.dir, name))
+		n.saveManifest()
+	}
+	n.updateSize(entry, len(req.Data))
+	return false, nil
+}
+
+func (n *Node) updateSize(entry metadata.NodeEntry, size int) {
+	if int64(size) != entry.Size && size > 0 {
+		entry.Size = int64(size)
+		_ = n.meta.Put(entry)
+	}
+}
+
+func (n *Node) handleRead(fileID int64) ([]byte, bool, error) {
+	entry, ok := n.meta.Lookup(int(fileID))
+	if !ok {
+		return nil, false, fmt.Errorf("fs: read of unknown file %d", fileID)
+	}
+	n.noteAccess(int(fileID))
+	name := fileName(fileID)
+
+	n.mu.Lock()
+	_, isDirty := n.dirty[int(fileID)]
+	n.mu.Unlock()
+
+	// Serve from the buffer disk when it holds the newest copy: either a
+	// prefetched replica or an unflushed buffered write.
+	if entry.Prefetched || isDirty {
+		data, err := n.diskRead(n.buffer, name)
+		if err == nil {
+			n.mu.Lock()
+			n.hits++
+			n.mu.Unlock()
+			return data, true, nil
+		}
+		// Fall through to the data disk on buffer damage.
+		n.logger.Printf("buffer read of file %d failed, falling back: %v", fileID, err)
+	}
+
+	data, err := n.readDataFile(entry)
+	if err != nil {
+		return nil, false, err
+	}
+	n.mu.Lock()
+	n.misses++
+	n.mu.Unlock()
+	return data, false, nil
+}
+
+func (n *Node) handleDelete(fileID int64) error {
+	entry, ok := n.meta.Lookup(int(fileID))
+	if !ok {
+		return fmt.Errorf("fs: delete of unknown file %d", fileID)
+	}
+	n.mu.Lock()
+	delete(n.dirty, int(fileID))
+	n.mu.Unlock()
+	os.Remove(filepath.Join(n.buffer.dir, fileName(fileID)))
+	n.removeDataFile(entry)
+	n.meta.Delete(int(fileID))
+	n.saveManifest()
+	return nil
+}
+
+// bufferHasRoom reports whether size more bytes fit in the buffer disk's
+// configured capacity (prefetched copies plus unflushed writes count
+// against it).
+func (n *Node) bufferHasRoom(size int64) bool {
+	if n.cfg.BufferCapacityBytes <= 0 {
+		return true
+	}
+	used := n.meta.PrefetchedBytes()
+	n.mu.Lock()
+	for _, sz := range n.dirty {
+		used += sz
+	}
+	n.mu.Unlock()
+	return used+size <= n.cfg.BufferCapacityBytes
+}
+
+// handlePrefetch copies each locally-known file from its data disk into
+// the buffer disk (step 3 of the process flow). Unknown ids are skipped —
+// the server's view may be slightly ahead of a node restart; files that
+// would overflow the buffer's capacity are skipped too (the greedy
+// popularity-order selection of Section IV-B).
+func (n *Node) handlePrefetch(ids []int64) int64 {
+	var count int64
+	for _, id := range ids {
+		entry, ok := n.meta.Lookup(int(id))
+		if !ok {
+			continue
+		}
+		if entry.Prefetched {
+			count++
+			continue
+		}
+		if !n.bufferHasRoom(entry.Size) {
+			continue
+		}
+		// An unflushed buffered write means the data disks do not hold
+		// the newest (or any) content yet; settle it first.
+		n.mu.Lock()
+		_, isDirty := n.dirty[int(id)]
+		n.mu.Unlock()
+		if isDirty {
+			n.flushOne(int(id))
+			if entry, ok = n.meta.Lookup(int(id)); !ok {
+				continue
+			}
+		}
+		data, err := n.readDataFile(entry)
+		if err != nil {
+			n.logger.Printf("prefetch read of file %d failed: %v", id, err)
+			continue
+		}
+		if err := n.diskWrite(n.buffer, fileName(id), data, true); err != nil {
+			n.logger.Printf("prefetch write of file %d failed: %v", id, err)
+			continue
+		}
+		n.meta.SetPrefetched(int(id), true)
+		count++
+	}
+	if count > 0 {
+		n.saveManifest()
+	}
+	return count
+}
+
+// handleReadAt serves a byte range. Buffer-resident copies (prefetched
+// or dirty) are sliced from the buffer disk; otherwise only the stripe
+// chunks overlapping the range touch their data disks.
+func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
+	entry, ok := n.meta.Lookup(int(req.FileID))
+	if !ok {
+		return nil, false, fmt.Errorf("fs: read of unknown file %d", req.FileID)
+	}
+	if req.Offset < 0 || req.Length < 0 || req.Offset+req.Length > entry.Size {
+		return nil, false, fmt.Errorf("fs: range [%d,%d) outside file %d of %d bytes",
+			req.Offset, req.Offset+req.Length, req.FileID, entry.Size)
+	}
+	if req.Length == 0 {
+		return nil, entry.Prefetched, nil
+	}
+
+	n.mu.Lock()
+	_, isDirty := n.dirty[int(req.FileID)]
+	n.mu.Unlock()
+
+	if entry.Prefetched || isDirty {
+		data, err := n.diskReadAt(n.buffer, fileName(req.FileID), req.Offset, req.Length)
+		if err == nil {
+			n.mu.Lock()
+			n.hits++
+			n.mu.Unlock()
+			return data, true, nil
+		}
+		n.logger.Printf("buffer ranged read of file %d failed, falling back: %v", req.FileID, err)
+	}
+
+	spans := n.stripeSpans(entry.Size)
+	if len(spans) == 1 {
+		data, err := n.diskReadAt(n.data[entry.Disk], fileName(req.FileID), req.Offset, req.Length)
+		if err != nil {
+			return nil, false, err
+		}
+		n.mu.Lock()
+		n.misses++
+		n.mu.Unlock()
+		return data, false, nil
+	}
+
+	// Striped: visit only the chunks the range overlaps.
+	var out []byte
+	chunkStart := int64(0)
+	for i, span := range spans {
+		chunkEnd := chunkStart + span
+		lo, hi := req.Offset, req.Offset+req.Length
+		if hi > chunkStart && lo < chunkEnd {
+			from := max64(lo, chunkStart) - chunkStart
+			to := min64(hi, chunkEnd) - chunkStart
+			dd := n.data[(entry.Disk+i)%len(n.data)]
+			part, err := n.diskReadAt(dd, chunkName(req.FileID, i), from, to-from)
+			if err != nil {
+				return nil, false, err
+			}
+			out = append(out, part...)
+		}
+		chunkStart = chunkEnd
+	}
+	n.mu.Lock()
+	n.misses++
+	n.mu.Unlock()
+	return out, false, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// diskReadAt performs a modeled ranged read: wake if needed, charge the
+// service latency of the range (not the whole file).
+func (n *Node) diskReadAt(nd *nodeDisk, name string, off, length int64) ([]byte, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	n.wakeLocked(nd)
+
+	f, err := os.Open(filepath.Join(nd.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, length)
+	if _, err := f.ReadAt(data, off); err != nil {
+		return nil, err
+	}
+	n.serviceLocked(nd, length, false)
+	return data, nil
+}
+
+// handleHints installs the server-forwarded access patterns
+// (Section IV-C). Intervals arrive in real (wall-clock) seconds — the
+// server observes real time — and are converted to this node's model
+// time. A non-positive interval clears a file's hint.
+func (n *Node) handleHints(req proto.NodeHintsReq) {
+	scale := n.clock.Scale()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, h := range req.Hints {
+		if h.MeanIntervalSec > 0 {
+			n.hints[int(h.FileID)] = h.MeanIntervalSec * scale
+		} else {
+			delete(n.hints, int(h.FileID))
+		}
+	}
+}
+
+// noteAccess timestamps a file's most recent request (model time), the
+// anchor the idle-window predictor extrapolates from.
+func (n *Node) noteAccess(fileID int) {
+	now := float64(n.clock.Now())
+	n.mu.Lock()
+	n.lastAccess[fileID] = now
+	n.mu.Unlock()
+}
+
+// predictedGap estimates how long the given data disk will stay idle:
+// the time until the earliest hinted next access of any file that still
+// needs this disk (prefetched and dirty files are served by the buffer
+// disk, so they do not pin data disks awake). It returns ok=false when no
+// hints apply — the caller falls back to the reactive threshold.
+func (n *Node) predictedGap(diskIdx int) (float64, bool) {
+	now := float64(n.clock.Now())
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next, have := 0.0, false
+	for _, id := range n.meta.FilesOnDisk(diskIdx) {
+		interval, hinted := n.hints[id]
+		if !hinted {
+			continue
+		}
+		if e, ok := n.meta.Lookup(id); ok && e.Prefetched {
+			continue
+		}
+		if _, dirtyHere := n.dirty[id]; dirtyHere {
+			continue
+		}
+		last, seen := n.lastAccess[id]
+		if !seen {
+			last = now
+		}
+		t := last + interval
+		if t < now {
+			t = now
+		}
+		if !have || t < next {
+			next, have = t, true
+		}
+	}
+	if !have {
+		return 0, false
+	}
+	return next - now, true
+}
+
+// flushAll copies every dirty buffered write to its data disk (runs on
+// shutdown).
+func (n *Node) flushAll() {
+	n.mu.Lock()
+	ids := make([]int, 0, len(n.dirty))
+	for id := range n.dirty {
+		ids = append(ids, id)
+	}
+	n.mu.Unlock()
+	for _, id := range ids {
+		n.flushOne(id)
+	}
+}
+
+func (n *Node) flushOne(id int) {
+	entry, ok := n.meta.Lookup(id)
+	if !ok {
+		return
+	}
+	name := fileName(int64(id))
+	data, err := n.diskRead(n.buffer, name)
+	if err != nil {
+		n.logger.Printf("flush read of file %d failed: %v", id, err)
+		return
+	}
+	if err := n.writeDataFile(entry, data); err != nil {
+		n.logger.Printf("flush write of file %d failed: %v", id, err)
+		return
+	}
+	n.mu.Lock()
+	delete(n.dirty, id)
+	n.mu.Unlock()
+	// Drop the buffer copy unless it doubles as a prefetched replica.
+	if !entry.Prefetched {
+		os.Remove(filepath.Join(n.buffer.dir, name))
+	}
+	n.saveManifest()
+}
+
+// diskRead performs a modeled read on the given disk: wake if needed,
+// charge service latency, account energy, rearm the idle timer.
+func (n *Node) diskRead(nd *nodeDisk, name string) ([]byte, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	n.wakeLocked(nd)
+
+	path := filepath.Join(nd.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n.serviceLocked(nd, int64(len(data)), false)
+	return data, nil
+}
+
+// diskWrite performs a modeled write; sequential=true uses the buffer
+// disk's log-append cost model.
+func (n *Node) diskWrite(nd *nodeDisk, name string, data []byte, sequential bool) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	n.wakeLocked(nd)
+
+	path := filepath.Join(nd.dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	n.serviceLocked(nd, int64(len(data)), sequential)
+	return nil
+}
+
+// wakeLocked brings a standby disk to Idle, charging spin-up latency.
+func (n *Node) wakeLocked(nd *nodeDisk) {
+	if nd.d.State() != disk.Standby {
+		return
+	}
+	m := nd.d.Model()
+	now := n.clock.Now()
+	nd.d.BeginSpinUp(now)
+	if n.cfg.InjectLatency {
+		n.clock.Sleep(m.SpinUpSec)
+	}
+	end := n.clock.Now()
+	if minEnd := now + simtime.Time(m.SpinUpSec); end < minEnd {
+		end = minEnd
+	}
+	nd.d.CompleteSpinUp(end)
+}
+
+// serviceLocked charges one service on the disk and rearms DPM.
+func (n *Node) serviceLocked(nd *nodeDisk, size int64, sequential bool) {
+	m := nd.d.Model()
+	dur := m.ServiceTime(size)
+	if sequential {
+		dur = m.SequentialTime(size)
+	}
+	start := n.clock.Now()
+	nd.d.BeginService(start)
+	if n.cfg.InjectLatency {
+		n.clock.Sleep(dur)
+	}
+	end := n.clock.Now()
+	if minEnd := start + simtime.Time(dur); end < minEnd {
+		end = minEnd
+	}
+	nd.d.EndService(end, size)
+	n.armTimerLocked(nd)
+}
+
+// armTimerLocked schedules the spin-down decision for a data disk. With
+// server-forwarded hints predicting an idle window at least as long as
+// the threshold, the disk sleeps immediately (Section IV-C); otherwise
+// the reactive threshold timer applies.
+func (n *Node) armTimerLocked(nd *nodeDisk) {
+	if nd.isBuffer || n.cfg.IdleThresholdSec <= 0 {
+		return // the buffer disk must stay available (Section III-C)
+	}
+	if nd.timer != nil {
+		nd.timer.Stop()
+	}
+	delay := n.cfg.IdleThresholdSec
+	if gap, ok := n.predictedGap(nd.index); ok && gap >= n.cfg.IdleThresholdSec {
+		delay = 0.001 // effectively immediate, off the request path
+	}
+	nd.timer = time.AfterFunc(n.clock.RealDuration(delay), func() {
+		nd.mu.Lock()
+		defer nd.mu.Unlock()
+		if nd.d.State() != disk.Idle {
+			return
+		}
+		m := nd.d.Model()
+		now := n.clock.Now()
+		nd.d.BeginSpinDown(now)
+		if n.cfg.InjectLatency {
+			n.clock.Sleep(m.SpinDownSec)
+		}
+		end := n.clock.Now()
+		if minEnd := now + simtime.Time(m.SpinDownSec); end < minEnd {
+			end = minEnd
+		}
+		nd.d.CompleteSpinDown(end)
+	})
+}
+
+// statsResp snapshots every disk's accounting.
+func (n *Node) statsResp() proto.StatsResp {
+	var resp proto.StatsResp
+	snapshot := func(nd *nodeDisk) {
+		nd.mu.Lock()
+		defer nd.mu.Unlock()
+		nd.d.Advance(n.clock.Now())
+		st := nd.d.Stats()
+		resp.Disks = append(resp.Disks, proto.DiskStats{
+			Name:       st.Name,
+			EnergyJ:    st.EnergyJ,
+			SpinUps:    int64(st.SpinUps),
+			SpinDowns:  int64(st.SpinDowns),
+			Requests:   st.Requests,
+			BytesMoved: st.BytesMoved,
+			State:      nd.d.State().String(),
+		})
+	}
+	snapshot(n.buffer)
+	for _, nd := range n.data {
+		snapshot(nd)
+	}
+	return resp
+}
+
+// Counters returns the node's hit/miss/buffered-write counters (primarily
+// for tests and the stats CLI).
+func (n *Node) Counters() (hits, misses, bufferedWrites int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hits, n.misses, n.bufWrites
+}

@@ -1,0 +1,200 @@
+package fs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"eevfs/internal/metadata"
+)
+
+// Metadata persistence. The paper's prototype kept metadata in memory;
+// for a restartable daemon we journal it as JSON manifests: the storage
+// node keeps one in its root directory (next to the disk directories),
+// and the storage server keeps one at an operator-chosen path. Manifests
+// are written atomically (temp file + rename) on every mutation — the
+// metadata is tiny compared to the data it describes.
+
+// nodeManifest is the storage node's on-disk metadata.
+type nodeManifest struct {
+	Version  int             `json:"version"`
+	NextDisk int             `json:"next_disk"`
+	Files    []nodeFileEntry `json:"files"`
+	Dirty    []dirtyEntry    `json:"dirty,omitempty"`
+}
+
+type nodeFileEntry struct {
+	ID         int   `json:"id"`
+	Size       int64 `json:"size"`
+	Disk       int   `json:"disk"`
+	Prefetched bool  `json:"prefetched,omitempty"`
+}
+
+type dirtyEntry struct {
+	ID   int   `json:"id"`
+	Size int64 `json:"size"`
+}
+
+const manifestVersion = 1
+
+func (n *Node) manifestPath() string {
+	return filepath.Join(n.cfg.RootDir, "manifest.json")
+}
+
+// saveManifest snapshots the node's metadata. Callers must not hold n.mu.
+func (n *Node) saveManifest() {
+	n.mu.Lock()
+	m := nodeManifest{Version: manifestVersion, NextDisk: n.nextDisk}
+	for id, size := range n.dirty {
+		m.Dirty = append(m.Dirty, dirtyEntry{ID: id, Size: size})
+	}
+	n.mu.Unlock()
+
+	for _, id := range n.meta.IDs() {
+		if e, ok := n.meta.Lookup(id); ok {
+			m.Files = append(m.Files, nodeFileEntry{
+				ID: e.ID, Size: e.Size, Disk: e.Disk, Prefetched: e.Prefetched,
+			})
+		}
+	}
+	sort.Slice(m.Files, func(i, j int) bool { return m.Files[i].ID < m.Files[j].ID })
+	sort.Slice(m.Dirty, func(i, j int) bool { return m.Dirty[i].ID < m.Dirty[j].ID })
+
+	if err := writeJSONAtomic(n.manifestPath(), m); err != nil {
+		n.logger.Printf("manifest save failed: %v", err)
+	}
+}
+
+// loadManifest restores metadata from a previous run; a missing manifest
+// means a fresh node.
+func (n *Node) loadManifest() error {
+	raw, err := os.ReadFile(n.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fs: reading manifest: %w", err)
+	}
+	var m nodeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("fs: corrupt manifest %s: %w", n.manifestPath(), err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("fs: manifest version %d unsupported", m.Version)
+	}
+	for _, f := range m.Files {
+		if f.Disk >= n.cfg.DataDisks {
+			return fmt.Errorf("fs: manifest file %d on disk %d, node has %d", f.ID, f.Disk, n.cfg.DataDisks)
+		}
+		if err := n.meta.Put(metadata.NodeEntry{
+			ID: f.ID, Size: f.Size, Disk: f.Disk, Prefetched: f.Prefetched,
+		}); err != nil {
+			return err
+		}
+	}
+	n.mu.Lock()
+	n.nextDisk = m.NextDisk
+	for _, d := range m.Dirty {
+		n.dirty[d.ID] = d.Size
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// serverState is the storage server's on-disk metadata.
+type serverState struct {
+	Version  int               `json:"version"`
+	NextID   int64             `json:"next_id"`
+	NextNode int               `json:"next_node"`
+	Files    []serverFileEntry `json:"files"`
+}
+
+type serverFileEntry struct {
+	Name string `json:"name"`
+	ID   int    `json:"id"`
+	Size int64  `json:"size"`
+	Node int    `json:"node"`
+}
+
+// saveState snapshots the server metadata to cfg.StateFile (no-op when
+// persistence is not configured). Callers must not hold s.mu.
+func (s *Server) saveState() {
+	if s.cfg.StateFile == "" {
+		return
+	}
+	s.mu.Lock()
+	st := serverState{Version: manifestVersion, NextID: s.nextID, NextNode: s.nextNode}
+	s.mu.Unlock()
+
+	for _, name := range s.meta.Names() {
+		if fi, ok := s.meta.LookupName(name); ok {
+			st.Files = append(st.Files, serverFileEntry{
+				Name: fi.Name, ID: fi.ID, Size: fi.Size, Node: fi.Node,
+			})
+		}
+	}
+	if err := writeJSONAtomic(s.cfg.StateFile, st); err != nil {
+		s.logger.Printf("state save failed: %v", err)
+	}
+}
+
+// loadState restores server metadata; a missing file means a fresh server.
+func (s *Server) loadState() error {
+	if s.cfg.StateFile == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(s.cfg.StateFile)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fs: reading server state: %w", err)
+	}
+	var st serverState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("fs: corrupt server state %s: %w", s.cfg.StateFile, err)
+	}
+	if st.Version != manifestVersion {
+		return fmt.Errorf("fs: server state version %d unsupported", st.Version)
+	}
+	maxSizeID := -1
+	for _, f := range st.Files {
+		if f.Node >= len(s.nodes) {
+			return fmt.Errorf("fs: state file %q on node %d, server has %d", f.Name, f.Node, len(s.nodes))
+		}
+		if err := s.meta.Put(metadata.FileInfo{
+			Name: f.Name, ID: f.ID, Size: f.Size, Node: f.Node,
+		}); err != nil {
+			return err
+		}
+		if f.ID > maxSizeID {
+			maxSizeID = f.ID
+		}
+	}
+	s.mu.Lock()
+	s.nextID = st.NextID
+	s.nextNode = st.NextNode
+	s.sizes = make([]int64, s.nextID)
+	for _, f := range st.Files {
+		if f.ID >= 0 && int64(f.ID) < s.nextID {
+			s.sizes[f.ID] = f.Size
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// writeJSONAtomic writes v as indented JSON via a temp file + rename.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

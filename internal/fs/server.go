@@ -1,0 +1,454 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+
+	"eevfs/internal/metadata"
+	"eevfs/internal/prefetch"
+	"eevfs/internal/proto"
+	"eevfs/internal/trace"
+)
+
+// ServerConfig configures the storage-server daemon.
+type ServerConfig struct {
+	// Addr is the TCP listen address.
+	Addr string
+	// NodeAddrs lists the storage-node daemons, in the order the
+	// popularity round-robin should use.
+	NodeAddrs []string
+	// StateFile, when set, persists the server's metadata (name -> node
+	// assignments) as JSON so a restarted server keeps its namespace.
+	StateFile string
+	// Logger receives operational messages (nil = stderr default).
+	Logger *log.Logger
+}
+
+// nodeHandle is the server's persistent connection to one storage node
+// (step 1 of the process flow: "the server ... establishes a TCP/IP
+// connection to each storage node").
+type nodeHandle struct {
+	addr string
+	mu   sync.Mutex // one in-flight round trip per node connection
+	conn net.Conn
+}
+
+// roundTrip sends a request to the node, redialing once on a dead
+// connection.
+func (h *nodeHandle) roundTrip(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if h.conn == nil {
+			c, err := net.Dial("tcp", h.addr)
+			if err != nil {
+				return 0, nil, fmt.Errorf("fs: dialing node %s: %w", h.addr, err)
+			}
+			h.conn = c
+		}
+		rt, rp, err := proto.RoundTrip(h.conn, t, payload)
+		if err == nil {
+			return rt, rp, nil
+		}
+		// Remote application errors are final; transport errors get one
+		// redial.
+		if isRemoteErr(err) || attempt > 0 {
+			return 0, nil, err
+		}
+		h.conn.Close()
+		h.conn = nil
+	}
+}
+
+func isRemoteErr(err error) bool {
+	return err != nil && len(err.Error()) > 7 && err.Error()[:7] == "remote:"
+}
+
+// Server is a running storage-server daemon.
+type Server struct {
+	cfg    ServerConfig
+	ln     net.Listener
+	meta   *metadata.ServerMap
+	nodes  []*nodeHandle
+	clock  *Clock
+	logger *log.Logger
+
+	mu       sync.Mutex
+	accesses trace.AccessLog
+	nextID   int64
+	nextNode int
+	sizes    []int64 // per file id (dense)
+	closing  bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// StartServer binds the listener and begins serving. Node daemons must be
+// reachable by the time a request needs them (connections are lazy).
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.NodeAddrs) == 0 {
+		return nil, errors.New("fs: server needs at least one storage node")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(os.Stderr, "eevfs-server ", log.LstdFlags)
+	}
+	s := &Server{
+		cfg:    cfg,
+		meta:   metadata.NewServerMap(),
+		clock:  NewClock(1),
+		logger: cfg.Logger,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for _, addr := range cfg.NodeAddrs {
+		s.nodes = append(s.nodes, &nodeHandle{addr: addr})
+	}
+	if err := s.loadState(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the daemon and drains connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	for _, h := range s.nodes {
+		h.mu.Lock()
+		if h.conn != nil {
+			h.conn.Close()
+		}
+		h.mu.Unlock()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		t, payload, err := proto.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(conn, t, payload); err != nil {
+			if werr := proto.WriteFrame(conn, proto.TError,
+				proto.ErrorMsg{Msg: err.Error()}.Encode()); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
+	switch t {
+	case proto.TCreateReq:
+		req, err := proto.DecodeCreateReq(payload)
+		if err != nil {
+			return err
+		}
+		resp, err := s.handleCreate(req)
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TCreateResp, resp.Encode())
+
+	case proto.TLookupReq:
+		req, err := proto.DecodeLookupReq(payload)
+		if err != nil {
+			return err
+		}
+		resp, err := s.handleLookup(req)
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TLookupResp, resp.Encode())
+
+	case proto.TListReq:
+		return proto.WriteFrame(conn, proto.TListResp,
+			proto.ListResp{Names: s.meta.Names()}.Encode())
+
+	case proto.TDeleteReq:
+		req, err := proto.DecodeDeleteReq(payload)
+		if err != nil {
+			return err
+		}
+		if err := s.handleDelete(req); err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TDeleteResp, nil)
+
+	case proto.TPrefetchReq:
+		req, err := proto.DecodePrefetchReq(payload)
+		if err != nil {
+			return err
+		}
+		count, err := s.handlePrefetch(int(req.K))
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TPrefetchResp,
+			proto.PrefetchResp{Prefetched: count}.Encode())
+
+	case proto.TStatsReq:
+		resp, err := s.handleStats()
+		if err != nil {
+			return err
+		}
+		return proto.WriteFrame(conn, proto.TStatsResp, resp.Encode())
+
+	default:
+		return fmt.Errorf("fs: server got unexpected message type %d", t)
+	}
+}
+
+// handleCreate assigns the next node round-robin (creation order embodies
+// popularity order, Section IV-A), registers metadata, and tells the node.
+func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
+	if req.Name == "" {
+		return proto.CreateResp{}, errors.New("fs: empty file name")
+	}
+	if req.Size <= 0 {
+		return proto.CreateResp{}, fmt.Errorf("fs: create %q with size %d", req.Name, req.Size)
+	}
+	if _, exists := s.meta.LookupName(req.Name); exists {
+		return proto.CreateResp{}, fmt.Errorf("fs: file %q already exists", req.Name)
+	}
+
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	nodeIdx := s.nextNode % len(s.nodes)
+	s.nextNode++
+	s.sizes = append(s.sizes, req.Size)
+	s.mu.Unlock()
+
+	h := s.nodes[nodeIdx]
+	if _, _, err := h.roundTrip(proto.TNodeCreateReq,
+		proto.NodeCreateReq{FileID: id, Size: req.Size}.Encode()); err != nil {
+		return proto.CreateResp{}, err
+	}
+
+	if err := s.meta.Put(metadata.FileInfo{
+		Name: req.Name, ID: int(id), Size: req.Size, Node: nodeIdx,
+	}); err != nil {
+		return proto.CreateResp{}, err
+	}
+	s.saveState()
+	return proto.CreateResp{FileID: id, NodeAddr: h.addr}, nil
+}
+
+// handleLookup resolves a name and journals the access (the append-only
+// popularity log of Section IV).
+func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
+	fi, ok := s.meta.LookupName(req.Name)
+	if !ok {
+		return proto.LookupResp{}, fmt.Errorf("fs: no such file %q", req.Name)
+	}
+	s.mu.Lock()
+	s.accesses.Append(trace.Record{
+		Seq:    int64(s.accesses.Len()),
+		TimeS:  float64(s.clock.Now()),
+		Op:     trace.Read,
+		FileID: fi.ID,
+		Size:   fi.Size,
+	})
+	s.mu.Unlock()
+	return proto.LookupResp{
+		FileID:   int64(fi.ID),
+		Size:     fi.Size,
+		NodeAddr: s.nodes[fi.Node].addr,
+	}, nil
+}
+
+func (s *Server) handleDelete(req proto.DeleteReq) error {
+	fi, ok := s.meta.LookupName(req.Name)
+	if !ok {
+		return fmt.Errorf("fs: no such file %q", req.Name)
+	}
+	h := s.nodes[fi.Node]
+	if _, _, err := h.roundTrip(proto.TNodeDeleteReq,
+		proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode()); err != nil {
+		return err
+	}
+	s.meta.Delete(req.Name)
+	s.saveState()
+	return nil
+}
+
+// handlePrefetch ranks files by logged popularity, picks the global top
+// K, groups the picks by owning node, and commands each node (steps 2-3
+// of the process flow).
+func (s *Server) handlePrefetch(k int) (int64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("fs: negative prefetch count %d", k)
+	}
+	s.mu.Lock()
+	numFiles := int(s.nextID)
+	counts := s.accesses.Counts(numFiles)
+	sizes := make([]int64, numFiles)
+	copy(sizes, s.sizes)
+	s.mu.Unlock()
+
+	ids, err := prefetch.Select(counts, sizes, k, 0)
+	if err != nil {
+		return 0, err
+	}
+
+	perNode := make(map[int][]int64)
+	for _, id := range ids {
+		fi, ok := s.meta.LookupID(id)
+		if !ok {
+			continue // deleted since it was accessed
+		}
+		perNode[fi.Node] = append(perNode[fi.Node], int64(id))
+	}
+
+	var total int64
+	for nodeIdx, fileIDs := range perNode {
+		_, payload, err := s.nodes[nodeIdx].roundTrip(proto.TNodePrefetchReq,
+			proto.NodePrefetchReq{FileIDs: fileIDs}.Encode())
+		if err != nil {
+			return total, fmt.Errorf("fs: prefetch on node %d: %w", nodeIdx, err)
+		}
+		resp, err := proto.DecodePrefetchResp(payload)
+		if err != nil {
+			return total, err
+		}
+		total += resp.Prefetched
+	}
+
+	// Step 4 of the process flow: forward the observed access patterns as
+	// hints so the nodes can predict idle windows. Failures are logged,
+	// not fatal — hints are advisory ("EEVFS can operate without the
+	// application hints", Section IV-C).
+	for nodeIdx, hints := range s.hintsPerNode() {
+		if len(hints) == 0 {
+			continue
+		}
+		if _, _, err := s.nodes[nodeIdx].roundTrip(proto.TNodeHintsReq,
+			proto.NodeHintsReq{Hints: hints}.Encode()); err != nil {
+			s.logger.Printf("forwarding hints to node %d: %v", nodeIdx, err)
+		}
+	}
+	return total, nil
+}
+
+// hintsPerNode derives each file's mean request inter-arrival from the
+// access log and groups the hints by owning node. Files seen fewer than
+// twice yield no estimate.
+func (s *Server) hintsPerNode() map[int][]proto.FileHint {
+	s.mu.Lock()
+	type span struct {
+		first, last float64
+		count       int
+	}
+	spans := make(map[int]*span)
+	for _, rec := range s.accesses.Entries() {
+		sp, ok := spans[rec.FileID]
+		if !ok {
+			spans[rec.FileID] = &span{first: rec.TimeS, last: rec.TimeS, count: 1}
+			continue
+		}
+		if rec.TimeS < sp.first {
+			sp.first = rec.TimeS
+		}
+		if rec.TimeS > sp.last {
+			sp.last = rec.TimeS
+		}
+		sp.count++
+	}
+	s.mu.Unlock()
+
+	out := make(map[int][]proto.FileHint)
+	for id, sp := range spans {
+		if sp.count < 2 || sp.last <= sp.first {
+			continue
+		}
+		fi, ok := s.meta.LookupID(id)
+		if !ok {
+			continue
+		}
+		out[fi.Node] = append(out[fi.Node], proto.FileHint{
+			FileID:          int64(id),
+			MeanIntervalSec: (sp.last - sp.first) / float64(sp.count-1),
+		})
+	}
+	return out
+}
+
+// handleStats gathers per-disk stats from every node, prefixing disk
+// names with the node index.
+func (s *Server) handleStats() (proto.StatsResp, error) {
+	var out proto.StatsResp
+	for i, h := range s.nodes {
+		_, payload, err := h.roundTrip(proto.TNodeStatsReq, nil)
+		if err != nil {
+			return proto.StatsResp{}, fmt.Errorf("fs: stats from node %d: %w", i, err)
+		}
+		resp, err := proto.DecodeStatsResp(payload)
+		if err != nil {
+			return proto.StatsResp{}, err
+		}
+		for _, ds := range resp.Disks {
+			ds.Name = fmt.Sprintf("node%d/%s", i, ds.Name)
+			out.Disks = append(out.Disks, ds)
+		}
+	}
+	return out, nil
+}
+
+// AccessCount reports the number of journaled accesses (for tests).
+func (s *Server) AccessCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accesses.Len()
+}

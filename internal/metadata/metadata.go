@@ -1,0 +1,242 @@
+// Package metadata implements EEVFS's two-level distributed metadata
+// (Section IV-D of the paper).
+//
+// The storage server keeps only coarse metadata — which storage node holds
+// a file, and the file's size. It deliberately does not know which disk
+// inside a node a file lives on, or whether the file has been prefetched.
+// Each storage node keeps that local metadata for its own disks. This
+// split is what lets the server act purely as a load balancer and access
+// point.
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FileInfo is the server-side record for one file.
+type FileInfo struct {
+	Name string
+	ID   int   // dense id used by traces and placement
+	Size int64 // bytes
+	Node int   // storage node holding the file
+}
+
+// ServerMap is the storage server's metadata: name -> FileInfo. It is safe
+// for concurrent use (the real FS serves many clients at once).
+type ServerMap struct {
+	mu     sync.RWMutex
+	byName map[string]FileInfo
+	byID   map[int]FileInfo
+}
+
+// NewServerMap returns an empty server metadata map.
+func NewServerMap() *ServerMap {
+	return &ServerMap{
+		byName: make(map[string]FileInfo),
+		byID:   make(map[int]FileInfo),
+	}
+}
+
+// Put inserts or replaces a file record. Replacing a name with a different
+// id (or vice versa) removes the stale pairing.
+func (m *ServerMap) Put(fi FileInfo) error {
+	if fi.Name == "" {
+		return fmt.Errorf("metadata: empty file name")
+	}
+	if fi.Size <= 0 {
+		return fmt.Errorf("metadata: file %q has non-positive size %d", fi.Name, fi.Size)
+	}
+	if fi.Node < 0 {
+		return fmt.Errorf("metadata: file %q has negative node %d", fi.Name, fi.Node)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.byName[fi.Name]; ok && old.ID != fi.ID {
+		delete(m.byID, old.ID)
+	}
+	if old, ok := m.byID[fi.ID]; ok && old.Name != fi.Name {
+		delete(m.byName, old.Name)
+	}
+	m.byName[fi.Name] = fi
+	m.byID[fi.ID] = fi
+	return nil
+}
+
+// LookupName returns the record for a file name.
+func (m *ServerMap) LookupName(name string) (FileInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fi, ok := m.byName[name]
+	return fi, ok
+}
+
+// LookupID returns the record for a file id.
+func (m *ServerMap) LookupID(id int) (FileInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fi, ok := m.byID[id]
+	return fi, ok
+}
+
+// Delete removes a file by name. Removing a missing file is a no-op that
+// returns false.
+func (m *ServerMap) Delete(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.byName[name]
+	if !ok {
+		return false
+	}
+	delete(m.byName, name)
+	delete(m.byID, fi.ID)
+	return true
+}
+
+// Len returns the number of files.
+func (m *ServerMap) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byName)
+}
+
+// Names returns all file names in sorted order (deterministic listing).
+func (m *ServerMap) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.byName))
+	for n := range m.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NodeEntry is a storage node's local record for one file.
+type NodeEntry struct {
+	ID         int
+	Size       int64
+	Disk       int  // data-disk index inside the node
+	Prefetched bool // a copy lives on the buffer disk
+}
+
+// NodeMap is one storage node's local metadata: file id -> disk placement
+// and prefetch status. Safe for concurrent use.
+type NodeMap struct {
+	mu      sync.RWMutex
+	entries map[int]NodeEntry
+}
+
+// NewNodeMap returns an empty node metadata map.
+func NewNodeMap() *NodeMap {
+	return &NodeMap{entries: make(map[int]NodeEntry)}
+}
+
+// Put inserts or replaces an entry.
+func (m *NodeMap) Put(e NodeEntry) error {
+	if e.Size <= 0 {
+		return fmt.Errorf("metadata: node entry for file %d has non-positive size %d", e.ID, e.Size)
+	}
+	if e.Disk < 0 {
+		return fmt.Errorf("metadata: node entry for file %d has negative disk %d", e.ID, e.Disk)
+	}
+	m.mu.Lock()
+	m.entries[e.ID] = e
+	m.mu.Unlock()
+	return nil
+}
+
+// Lookup returns the entry for a file id.
+func (m *NodeMap) Lookup(id int) (NodeEntry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.entries[id]
+	return e, ok
+}
+
+// SetPrefetched marks or clears the buffer-disk copy flag. It returns
+// false if the file is unknown to this node.
+func (m *NodeMap) SetPrefetched(id int, v bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return false
+	}
+	e.Prefetched = v
+	m.entries[id] = e
+	return true
+}
+
+// Delete removes an entry; it returns false if absent.
+func (m *NodeMap) Delete(id int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[id]; !ok {
+		return false
+	}
+	delete(m.entries, id)
+	return true
+}
+
+// Len returns the number of local files.
+func (m *NodeMap) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// PrefetchedIDs returns the ids with a buffer-disk copy, sorted.
+func (m *NodeMap) PrefetchedIDs() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var ids []int
+	for id, e := range m.entries {
+		if e.Prefetched {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// FilesOnDisk returns the ids stored on the given data disk, sorted.
+func (m *NodeMap) FilesOnDisk(disk int) []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var ids []int
+	for id, e := range m.entries {
+		if e.Disk == disk {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// PrefetchedBytes returns the total size of buffer-disk copies — the
+// buffer disk's occupancy, which the write-buffer logic needs to know.
+func (m *NodeMap) PrefetchedBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, e := range m.entries {
+		if e.Prefetched {
+			total += e.Size
+		}
+	}
+	return total
+}
+
+// IDs returns all file ids known to the node, sorted.
+func (m *NodeMap) IDs() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := make([]int, 0, len(m.entries))
+	for id := range m.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,73 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must never
+// panic nor over-allocate, and accepted frames must round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteFrame(&good, TCreateReq, CreateReq{"x", 1}.Encode()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 1})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	f.Add([]byte{0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		ty, payload, err := ReadFrame(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, ty, payload); err != nil {
+			t.Fatalf("re-encoding accepted frame failed: %v", err)
+		}
+		ty2, payload2, err := ReadFrame(&buf)
+		if err != nil || ty2 != ty || !bytes.Equal(payload2, payload) {
+			t.Fatal("frame round trip mismatch")
+		}
+	})
+}
+
+// FuzzMessageDecoders throws arbitrary payloads at every decoder: none may
+// panic, and decoded messages must re-encode without error.
+func FuzzMessageDecoders(f *testing.F) {
+	f.Add(CreateReq{"file", 100}.Encode())
+	f.Add(ListResp{Names: []string{"a", "b"}}.Encode())
+	f.Add(StatsResp{Disks: []DiskStats{{Name: "d", EnergyJ: 1}}}.Encode())
+	f.Add(NodePrefetchReq{FileIDs: []int64{1, 2}}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if m, err := DecodeCreateReq(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeCreateResp(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeLookupResp(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeListResp(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeStatsResp(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeNodeWriteReq(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeNodeReadResp(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeNodePrefetchReq(input); err == nil {
+			_ = m.Encode()
+		}
+	})
+}

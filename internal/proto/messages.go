@@ -1,0 +1,436 @@
+package proto
+
+import (
+	"fmt"
+	"io"
+)
+
+// The typed messages below wrap the raw codec. Each has Encode/Decode; a
+// Decode returning an error means the peer sent a malformed frame and the
+// connection should be dropped.
+
+// ErrorMsg is sent in place of any response when a request fails.
+type ErrorMsg struct{ Msg string }
+
+// Encode serializes the message body.
+func (m ErrorMsg) Encode() []byte { var e Encoder; return e.Str(m.Msg).Bytes() }
+
+// DecodeErrorMsg parses an ErrorMsg payload.
+func DecodeErrorMsg(b []byte) (ErrorMsg, error) {
+	d := NewDecoder(b)
+	m := ErrorMsg{Msg: d.Str()}
+	return m, d.Err()
+}
+
+// CreateReq asks the storage server to create a file; the server assigns
+// a node and file id. Size is declared up front so placement and the
+// buffer-capacity checks can run before data moves.
+type CreateReq struct {
+	Name string
+	Size int64
+}
+
+// Encode serializes the message body.
+func (m CreateReq) Encode() []byte {
+	var e Encoder
+	return e.Str(m.Name).I64(m.Size).Bytes()
+}
+
+// DecodeCreateReq parses a CreateReq payload.
+func DecodeCreateReq(b []byte) (CreateReq, error) {
+	d := NewDecoder(b)
+	m := CreateReq{Name: d.Str(), Size: d.I64()}
+	return m, d.Err()
+}
+
+// CreateResp returns the assignment: the client uploads the data directly
+// to NodeAddr (step 6 of the paper's process flow, in reverse for writes).
+type CreateResp struct {
+	FileID   int64
+	NodeAddr string
+}
+
+// Encode serializes the message body.
+func (m CreateResp) Encode() []byte {
+	var e Encoder
+	return e.I64(m.FileID).Str(m.NodeAddr).Bytes()
+}
+
+// DecodeCreateResp parses a CreateResp payload.
+func DecodeCreateResp(b []byte) (CreateResp, error) {
+	d := NewDecoder(b)
+	m := CreateResp{FileID: d.I64(), NodeAddr: d.Str()}
+	return m, d.Err()
+}
+
+// LookupReq resolves a file name.
+type LookupReq struct{ Name string }
+
+// Encode serializes the message body.
+func (m LookupReq) Encode() []byte { var e Encoder; return e.Str(m.Name).Bytes() }
+
+// DecodeLookupReq parses a LookupReq payload.
+func DecodeLookupReq(b []byte) (LookupReq, error) {
+	d := NewDecoder(b)
+	m := LookupReq{Name: d.Str()}
+	return m, d.Err()
+}
+
+// LookupResp carries the node holding the file. The server deliberately
+// does not know (or say) which disk inside the node has it, nor whether it
+// is prefetched (Section IV-D).
+type LookupResp struct {
+	FileID   int64
+	Size     int64
+	NodeAddr string
+}
+
+// Encode serializes the message body.
+func (m LookupResp) Encode() []byte {
+	var e Encoder
+	return e.I64(m.FileID).I64(m.Size).Str(m.NodeAddr).Bytes()
+}
+
+// DecodeLookupResp parses a LookupResp payload.
+func DecodeLookupResp(b []byte) (LookupResp, error) {
+	d := NewDecoder(b)
+	m := LookupResp{FileID: d.I64(), Size: d.I64(), NodeAddr: d.Str()}
+	return m, d.Err()
+}
+
+// ListResp enumerates file names (ListReq has an empty body).
+type ListResp struct{ Names []string }
+
+// Encode serializes the message body.
+func (m ListResp) Encode() []byte {
+	var e Encoder
+	e.U32(uint32(len(m.Names)))
+	for _, n := range m.Names {
+		e.Str(n)
+	}
+	return e.Bytes()
+}
+
+// DecodeListResp parses a ListResp payload.
+func DecodeListResp(b []byte) (ListResp, error) {
+	d := NewDecoder(b)
+	n := d.U32()
+	if d.Err() != nil {
+		return ListResp{}, d.Err()
+	}
+	m := ListResp{}
+	for i := uint32(0); i < n; i++ {
+		m.Names = append(m.Names, d.Str())
+		if d.Err() != nil {
+			return ListResp{}, d.Err()
+		}
+	}
+	return m, d.Err()
+}
+
+// DeleteReq removes a file by name; DeleteResp has an empty body.
+type DeleteReq struct{ Name string }
+
+// Encode serializes the message body.
+func (m DeleteReq) Encode() []byte { var e Encoder; return e.Str(m.Name).Bytes() }
+
+// DecodeDeleteReq parses a DeleteReq payload.
+func DecodeDeleteReq(b []byte) (DeleteReq, error) {
+	d := NewDecoder(b)
+	m := DeleteReq{Name: d.Str()}
+	return m, d.Err()
+}
+
+// PrefetchReq asks the server to run the popularity analysis and command
+// the storage nodes to prefetch the top K files.
+type PrefetchReq struct{ K int64 }
+
+// Encode serializes the message body.
+func (m PrefetchReq) Encode() []byte { var e Encoder; return e.I64(m.K).Bytes() }
+
+// DecodePrefetchReq parses a PrefetchReq payload.
+func DecodePrefetchReq(b []byte) (PrefetchReq, error) {
+	d := NewDecoder(b)
+	m := PrefetchReq{K: d.I64()}
+	return m, d.Err()
+}
+
+// PrefetchResp reports how many files were copied into buffer disks.
+type PrefetchResp struct{ Prefetched int64 }
+
+// Encode serializes the message body.
+func (m PrefetchResp) Encode() []byte { var e Encoder; return e.I64(m.Prefetched).Bytes() }
+
+// DecodePrefetchResp parses a PrefetchResp payload.
+func DecodePrefetchResp(b []byte) (PrefetchResp, error) {
+	d := NewDecoder(b)
+	m := PrefetchResp{Prefetched: d.I64()}
+	return m, d.Err()
+}
+
+// DiskStats mirrors disk.Stats across the wire.
+type DiskStats struct {
+	Name       string
+	EnergyJ    float64
+	SpinUps    int64
+	SpinDowns  int64
+	Requests   int64
+	BytesMoved int64
+	State      string
+}
+
+func (m DiskStats) encode(e *Encoder) {
+	e.Str(m.Name).F64(m.EnergyJ).I64(m.SpinUps).I64(m.SpinDowns).
+		I64(m.Requests).I64(m.BytesMoved).Str(m.State)
+}
+
+func decodeDiskStats(d *Decoder) DiskStats {
+	return DiskStats{
+		Name: d.Str(), EnergyJ: d.F64(), SpinUps: d.I64(), SpinDowns: d.I64(),
+		Requests: d.I64(), BytesMoved: d.I64(), State: d.Str(),
+	}
+}
+
+// StatsResp aggregates disk stats (from a node: its own disks; from the
+// server: all nodes' disks).
+type StatsResp struct {
+	Disks []DiskStats
+}
+
+// Encode serializes the message body.
+func (m StatsResp) Encode() []byte {
+	var e Encoder
+	e.U32(uint32(len(m.Disks)))
+	for _, ds := range m.Disks {
+		ds.encode(&e)
+	}
+	return e.Bytes()
+}
+
+// DecodeStatsResp parses a StatsResp payload.
+func DecodeStatsResp(b []byte) (StatsResp, error) {
+	d := NewDecoder(b)
+	n := d.U32()
+	if d.Err() != nil {
+		return StatsResp{}, d.Err()
+	}
+	m := StatsResp{}
+	for i := uint32(0); i < n; i++ {
+		m.Disks = append(m.Disks, decodeDiskStats(d))
+		if d.Err() != nil {
+			return StatsResp{}, d.Err()
+		}
+	}
+	return m, d.Err()
+}
+
+// NodeCreateReq registers a file on a storage node (server -> node).
+type NodeCreateReq struct {
+	FileID int64
+	Size   int64
+}
+
+// Encode serializes the message body.
+func (m NodeCreateReq) Encode() []byte {
+	var e Encoder
+	return e.I64(m.FileID).I64(m.Size).Bytes()
+}
+
+// DecodeNodeCreateReq parses a NodeCreateReq payload.
+func DecodeNodeCreateReq(b []byte) (NodeCreateReq, error) {
+	d := NewDecoder(b)
+	m := NodeCreateReq{FileID: d.I64(), Size: d.I64()}
+	return m, d.Err()
+}
+
+// NodeReadReq fetches a file's content from a storage node.
+type NodeReadReq struct{ FileID int64 }
+
+// Encode serializes the message body.
+func (m NodeReadReq) Encode() []byte { var e Encoder; return e.I64(m.FileID).Bytes() }
+
+// DecodeNodeReadReq parses a NodeReadReq payload.
+func DecodeNodeReadReq(b []byte) (NodeReadReq, error) {
+	d := NewDecoder(b)
+	m := NodeReadReq{FileID: d.I64()}
+	return m, d.Err()
+}
+
+// NodeReadResp returns file content plus whether the buffer disk served it
+// (observable behaviour for tests and the stats CLI).
+type NodeReadResp struct {
+	FromBuffer bool
+	Data       []byte
+}
+
+// Encode serializes the message body.
+func (m NodeReadResp) Encode() []byte {
+	var e Encoder
+	return e.Bool(m.FromBuffer).Blob(m.Data).Bytes()
+}
+
+// DecodeNodeReadResp parses a NodeReadResp payload.
+func DecodeNodeReadResp(b []byte) (NodeReadResp, error) {
+	d := NewDecoder(b)
+	m := NodeReadResp{FromBuffer: d.Bool(), Data: d.Blob()}
+	return m, d.Err()
+}
+
+// NodeWriteReq stores file content on a storage node.
+type NodeWriteReq struct {
+	FileID int64
+	Data   []byte
+}
+
+// Encode serializes the message body.
+func (m NodeWriteReq) Encode() []byte {
+	var e Encoder
+	return e.I64(m.FileID).Blob(m.Data).Bytes()
+}
+
+// DecodeNodeWriteReq parses a NodeWriteReq payload.
+func DecodeNodeWriteReq(b []byte) (NodeWriteReq, error) {
+	d := NewDecoder(b)
+	m := NodeWriteReq{FileID: d.I64(), Data: d.Blob()}
+	return m, d.Err()
+}
+
+// NodeWriteResp reports whether the write-buffer area absorbed the write.
+type NodeWriteResp struct{ Buffered bool }
+
+// Encode serializes the message body.
+func (m NodeWriteResp) Encode() []byte { var e Encoder; return e.Bool(m.Buffered).Bytes() }
+
+// DecodeNodeWriteResp parses a NodeWriteResp payload.
+func DecodeNodeWriteResp(b []byte) (NodeWriteResp, error) {
+	d := NewDecoder(b)
+	m := NodeWriteResp{Buffered: d.Bool()}
+	return m, d.Err()
+}
+
+// NodeDeleteReq removes a file from a storage node.
+type NodeDeleteReq struct{ FileID int64 }
+
+// Encode serializes the message body.
+func (m NodeDeleteReq) Encode() []byte { var e Encoder; return e.I64(m.FileID).Bytes() }
+
+// DecodeNodeDeleteReq parses a NodeDeleteReq payload.
+func DecodeNodeDeleteReq(b []byte) (NodeDeleteReq, error) {
+	d := NewDecoder(b)
+	m := NodeDeleteReq{FileID: d.I64()}
+	return m, d.Err()
+}
+
+// NodeReadAtReq fetches a byte range of a file from a storage node
+// (partial I/O; the paper's workloads are whole-file, but PVFS-style
+// clients expect ranged reads).
+type NodeReadAtReq struct {
+	FileID int64
+	Offset int64
+	Length int64
+}
+
+// Encode serializes the message body.
+func (m NodeReadAtReq) Encode() []byte {
+	var e Encoder
+	return e.I64(m.FileID).I64(m.Offset).I64(m.Length).Bytes()
+}
+
+// DecodeNodeReadAtReq parses a NodeReadAtReq payload.
+func DecodeNodeReadAtReq(b []byte) (NodeReadAtReq, error) {
+	d := NewDecoder(b)
+	m := NodeReadAtReq{FileID: d.I64(), Offset: d.I64(), Length: d.I64()}
+	return m, d.Err()
+}
+
+// NodePrefetchReq commands a node to copy the listed files into its
+// buffer disk (step 3/4 of the process flow).
+type NodePrefetchReq struct{ FileIDs []int64 }
+
+// Encode serializes the message body.
+func (m NodePrefetchReq) Encode() []byte {
+	var e Encoder
+	e.U32(uint32(len(m.FileIDs)))
+	for _, id := range m.FileIDs {
+		e.I64(id)
+	}
+	return e.Bytes()
+}
+
+// DecodeNodePrefetchReq parses a NodePrefetchReq payload.
+func DecodeNodePrefetchReq(b []byte) (NodePrefetchReq, error) {
+	d := NewDecoder(b)
+	n := d.U32()
+	if d.Err() != nil {
+		return NodePrefetchReq{}, d.Err()
+	}
+	m := NodePrefetchReq{}
+	for i := uint32(0); i < n; i++ {
+		m.FileIDs = append(m.FileIDs, d.I64())
+		if d.Err() != nil {
+			return NodePrefetchReq{}, d.Err()
+		}
+	}
+	return m, d.Err()
+}
+
+// FileHint carries one file's predicted access behaviour: the mean
+// inter-arrival of requests observed by the storage server.
+type FileHint struct {
+	FileID          int64
+	MeanIntervalSec float64
+}
+
+// NodeHintsReq forwards application hints / access patterns to a storage
+// node (steps 3-4 of the paper's process flow): the node uses them to
+// predict idle windows and sleep data disks proactively (Section IV-C).
+type NodeHintsReq struct {
+	Hints []FileHint
+}
+
+// Encode serializes the message body.
+func (m NodeHintsReq) Encode() []byte {
+	var e Encoder
+	e.U32(uint32(len(m.Hints)))
+	for _, h := range m.Hints {
+		e.I64(h.FileID).F64(h.MeanIntervalSec)
+	}
+	return e.Bytes()
+}
+
+// DecodeNodeHintsReq parses a NodeHintsReq payload.
+func DecodeNodeHintsReq(b []byte) (NodeHintsReq, error) {
+	d := NewDecoder(b)
+	n := d.U32()
+	if d.Err() != nil {
+		return NodeHintsReq{}, d.Err()
+	}
+	m := NodeHintsReq{}
+	for i := uint32(0); i < n; i++ {
+		m.Hints = append(m.Hints, FileHint{FileID: d.I64(), MeanIntervalSec: d.F64()})
+		if d.Err() != nil {
+			return NodeHintsReq{}, d.Err()
+		}
+	}
+	return m, d.Err()
+}
+
+// RoundTrip sends a request frame and reads one response frame, turning a
+// TError response into a Go error.
+func RoundTrip(rw io.ReadWriter, t Type, payload []byte) (Type, []byte, error) {
+	if err := WriteFrame(rw, t, payload); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, err := ReadFrame(rw)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rt == TError {
+		em, derr := DecodeErrorMsg(rp)
+		if derr != nil {
+			return 0, nil, fmt.Errorf("proto: undecodable error response: %w", derr)
+		}
+		return 0, nil, fmt.Errorf("remote: %s", em.Msg)
+	}
+	return rt, rp, nil
+}

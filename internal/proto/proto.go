@@ -1,0 +1,250 @@
+// Package proto defines the wire protocol of the EEVFS prototype
+// (Section IV-A: the storage server keeps a TCP connection per storage
+// node; clients contact the server for metadata and then transfer data
+// directly with the owning storage node).
+//
+// Framing: every message is [u32 length][u8 type][payload]; length covers
+// the type byte plus payload. Integers are big-endian; strings and byte
+// slices are length-prefixed (u32). Frames are capped to prevent a
+// malformed peer from forcing huge allocations.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrame bounds a single frame: 256 MiB covers the evaluation's largest
+// files (50 MB) with ample margin.
+const MaxFrame = 256 << 20
+
+// Type identifies a message.
+type Type uint8
+
+// Message types. Req/Resp pairs share a numeric neighborhood.
+const (
+	TError Type = iota + 1
+	TCreateReq
+	TCreateResp
+	TLookupReq
+	TLookupResp
+	TListReq
+	TListResp
+	TDeleteReq
+	TDeleteResp
+	TStatsReq
+	TStatsResp
+	TPrefetchReq
+	TPrefetchResp
+	TNodeCreateReq
+	TNodeCreateResp
+	TNodeReadReq
+	TNodeReadResp
+	TNodeWriteReq
+	TNodeWriteResp
+	TNodeDeleteReq
+	TNodeDeleteResp
+	TNodeStatsReq
+	TNodeStatsResp
+	TNodePrefetchReq
+	TNodePrefetchResp
+	TNodeReadAtReq
+	TNodeReadAtResp
+	TNodeHintsReq
+	TNodeHintsResp
+)
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrame")
+	ErrShortPayload  = errors.New("proto: truncated payload")
+)
+
+// WriteFrame sends one message.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	n := 1 + len(payload)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame receives one message.
+func ReadFrame(r io.Reader) (Type, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("proto: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	t := Type(hdr[4])
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return t, payload, nil
+}
+
+// Encoder builds a payload.
+type Encoder struct{ buf []byte }
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) *Encoder {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) *Encoder {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// I64 appends an int64 (two's complement).
+func (e *Encoder) I64(v int64) *Encoder { return e.U64(uint64(v)) }
+
+// F64 appends a float64 (IEEE 754 bits).
+func (e *Encoder) F64(v float64) *Encoder {
+	return e.U64(mathFloat64bits(v))
+}
+
+// Bool appends a byte 0/1.
+func (e *Encoder) Bool(v bool) *Encoder {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) *Encoder {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	return e
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) *Encoder {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	return e
+}
+
+// Decoder consumes a payload.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode error (ErrShortPayload on truncation).
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShortPayload
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return mathFloat64frombits(d.U64()) }
+
+// Bool reads a byte as bool.
+func (d *Decoder) Bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.U32()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		d.err = ErrShortPayload
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Blob reads a length-prefixed byte slice (copy-free view into the
+// payload; callers that retain it must copy).
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		d.err = ErrShortPayload
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// mathFloat64bits and mathFloat64frombits are aliases of the math package
+// helpers, named so the Encoder methods read naturally.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

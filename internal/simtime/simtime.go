@@ -1,0 +1,184 @@
+// Package simtime implements the virtual clock and discrete-event scheduler
+// that drive the EEVFS cluster simulator.
+//
+// Time is a float64 number of seconds since simulation start. Events are
+// ordered by (time, sequence number): ties break in scheduling order, which
+// makes every run fully deterministic.
+package simtime
+
+import "container/heap"
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Event is a scheduled callback. Fire is invoked with the engine so the
+// callback can schedule follow-up events.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+	fire     func(now Time)
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	maxLen int
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// MaxQueueLen returns the high-water mark of the pending-event queue,
+// useful for asserting that simulations do not leak events.
+func (e *Engine) MaxQueueLen() int { return e.maxLen }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fire to run at absolute virtual time at. Scheduling in
+// the past (at < Now) panics: it always indicates a modeling bug, and
+// silently clamping would hide it.
+func (e *Engine) Schedule(at Time, fire func(now Time)) *Event {
+	if at < e.now {
+		panic("simtime: event scheduled in the past")
+	}
+	if fire == nil {
+		panic("simtime: nil event callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fire: fire}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxLen {
+		e.maxLen = len(e.queue)
+	}
+	return ev
+}
+
+// After schedules fire to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Duration, fire func(now Time)) *Event {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	return e.Schedule(e.now+Time(d), fire)
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired
+// or already-cancelled event is a no-op. The event stays in the heap until
+// its time comes (lazy deletion), which keeps Cancel O(1).
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.canceled = true
+}
+
+// Step pops and fires the next non-cancelled event. It returns false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("simtime: time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fire(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. It returns the final virtual
+// time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time <= deadline, then advances the clock to
+// the deadline (if it is later than the last event). Events scheduled
+// beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 {
+		// Peek: drain cancelled heads first so they don't block the check.
+		head := e.queue[0]
+		if head.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if head.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunLimit fires at most n events; it returns the number actually fired.
+// Useful as a runaway guard in tests.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var fired uint64
+	for fired < n && e.Step() {
+		fired++
+	}
+	return fired
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,263 @@
+package simtime
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTiesBreakInSchedulingOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	var e Engine
+	e.Schedule(2.5, func(now Time) {
+		if now != 2.5 {
+			t.Errorf("callback now = %v, want 2.5", now)
+		}
+	})
+	final := e.Run()
+	if final != 2.5 || e.Now() != 2.5 {
+		t.Fatalf("final time = %v, Now = %v, want 2.5", final, e.Now())
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	var e Engine
+	var times []Time
+	e.Schedule(10, func(now Time) {
+		e.After(5, func(n2 Time) { times = append(times, n2) })
+	})
+	e.Run()
+	if len(times) != 1 || times[0] != 15 {
+		t.Fatalf("After scheduled at %v, want [15]", times)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(1, func(Time) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() should report true")
+	}
+}
+
+func TestCancelNilAndDoubleCancel(t *testing.T) {
+	var e Engine
+	e.Cancel(nil) // must not panic
+	ev := e.Schedule(1, func(Time) {})
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Run()
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func(Time) {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func(Time) {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		e.Schedule(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3: %v", len(fired), fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("after Run fired %d, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockPastLastEvent(t *testing.T) {
+	var e Engine
+	e.Schedule(1, func(Time) {})
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(1, func(Time) { t.Fatal("cancelled event fired") })
+	e.Schedule(2, func(Time) {})
+	e.Cancel(ev)
+	e.RunUntil(5)
+	if e.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var e Engine
+	count := 0
+	var reschedule func(Time)
+	reschedule = func(Time) {
+		count++
+		e.After(1, reschedule)
+	}
+	e.Schedule(0, reschedule)
+	n := e.RunLimit(50)
+	if n != 50 || count != 50 {
+		t.Fatalf("RunLimit fired %d (count %d), want 50", n, count)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var e Engine
+	depth := 0
+	var recurse func(Time)
+	recurse = func(Time) {
+		depth++
+		if depth < 100 {
+			e.After(0.5, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	final := e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if final != 49.5 {
+		t.Fatalf("final time = %v, want 49.5", final)
+	}
+}
+
+func TestZeroDelaySameTimeOrdering(t *testing.T) {
+	// An event scheduled with After(0) from within a callback must run at
+	// the same virtual time but after already-queued events at that time.
+	var e Engine
+	var got []string
+	e.Schedule(1, func(Time) {
+		e.After(0, func(Time) { got = append(got, "child") })
+	})
+	e.Schedule(1, func(Time) { got = append(got, "sibling") })
+	e.Run()
+	if len(got) != 2 || got[0] != "sibling" || got[1] != "child" {
+		t.Fatalf("order = %v, want [sibling child]", got)
+	}
+}
+
+func TestMaxQueueLenAndFired(t *testing.T) {
+	var e Engine
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func(Time) {})
+	}
+	if e.MaxQueueLen() != 10 {
+		t.Fatalf("MaxQueueLen = %d, want 10", e.MaxQueueLen())
+	}
+	e.Run()
+	if e.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Property: any batch of events fires in nondecreasing time order, and the
+// count of fired events matches the non-cancelled schedule.
+func TestQuickOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r % 1000)
+			e.Schedule(at, func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func(Time) {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the trace parser: it must never
+// panic, and anything it accepts must be a valid trace that round-trips.
+func FuzzParse(f *testing.F) {
+	var good bytes.Buffer
+	if err := sampleTrace().Write(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add("")
+	f.Add("eevfs-trace/1\nfiles 0\nrecords 0\n")
+	f.Add("eevfs-trace/1\nfiles 1\nsize 0 10\nrecords 1\n0 0 r 0 10\n")
+	f.Add("eevfs-trace/1\nfiles 2\nsize 0 -1\n")
+	f.Add("eevfs-trace/1\nfiles 999999999\n")
+	f.Add(strings.Repeat("size 0 1\n", 50))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an invalid trace: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("re-encoding accepted trace failed: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing own output failed: %v", err)
+		}
+		if len(again.Records) != len(tr.Records) || again.NumFiles() != tr.NumFiles() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
