@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the codec and the fault-injected frame path.
+fuzz:
+	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrame -fuzztime=15s
+	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzMessageDecoders -fuzztime=15s
+	$(GO) test ./internal/faultnet -run=^$$ -fuzz=FuzzCorruptedFrames -fuzztime=15s
+
+# The full pre-merge gate: vet + build + the whole suite under the race
+# detector (the chaos tests in internal/fs exercise real concurrency).
+verify: vet build race

@@ -17,6 +17,7 @@ import (
 	"strconv"
 
 	"eevfs/internal/fs"
+	"eevfs/internal/proto"
 	"eevfs/internal/replay"
 	"eevfs/internal/trace"
 )
@@ -47,13 +48,26 @@ func main() {
 	server := flag.String("server", "127.0.0.1:7000", "storage server address")
 	timeScale = flag.Float64("time-scale", 0, "replay pacing compression (0 = as fast as possible)")
 	sizeScale = flag.Int64("size-scale", 1, "divide trace file sizes for populate/replay")
+	dialTimeout := flag.Duration("dial-timeout", proto.DefaultDialTimeout,
+		"timeout for establishing a server or node connection")
+	rtTimeout := flag.Duration("rt-timeout", proto.DefaultRTTimeout,
+		"timeout for one whole request round trip")
+	retries := flag.Int("retries", proto.DefaultRetries,
+		"additional attempts after a failed round trip (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	if *retries <= 0 {
+		*retries = -1 // flag 0 means "no retries"; config 0 means "default"
+	}
 
-	cl, err := fs.Dial(*server)
+	cl, err := fs.DialConfig(*server, fs.ClientConfig{Transport: proto.TransportConfig{
+		DialTimeout: *dialTimeout,
+		RTTimeout:   *rtTimeout,
+		Retries:     *retries,
+	}})
 	if err != nil {
 		die(err)
 	}

@@ -10,8 +10,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"eevfs/internal/fs"
+	"eevfs/internal/proto"
 )
 
 func main() {
@@ -19,6 +21,19 @@ func main() {
 		addr  = flag.String("addr", "127.0.0.1:7000", "listen address")
 		nodes = flag.String("nodes", "", "comma-separated storage-node addresses (required)")
 		state = flag.String("state", "", "path for persisted metadata (empty = in-memory only)")
+
+		dialTimeout = flag.Duration("dial-timeout", proto.DefaultDialTimeout,
+			"timeout for establishing a storage-node connection")
+		rtTimeout = flag.Duration("rt-timeout", proto.DefaultRTTimeout,
+			"timeout for one whole server->node round trip")
+		retries = flag.Int("retries", proto.DefaultRetries,
+			"additional attempts after a failed node round trip (0 = none)")
+		retryBackoff = flag.Duration("retry-backoff", proto.DefaultRetryBase,
+			"initial retry backoff, doubled per attempt with jitter")
+		failThreshold = flag.Int("fail-threshold", 3,
+			"consecutive transport failures before a node is marked unhealthy")
+		probeInterval = flag.Duration("probe-interval", time.Second,
+			"background node health-check period (negative = disabled)")
 	)
 	flag.Parse()
 
@@ -32,8 +47,25 @@ func main() {
 			addrs = append(addrs, a)
 		}
 	}
+	if *retries <= 0 {
+		*retries = -1 // flag 0 means "no retries"; config 0 means "default"
+	}
 
-	srv, err := fs.StartServer(fs.ServerConfig{Addr: *addr, NodeAddrs: addrs, StateFile: *state})
+	srv, err := fs.StartServer(fs.ServerConfig{
+		Addr:      *addr,
+		NodeAddrs: addrs,
+		StateFile: *state,
+		Transport: proto.TransportConfig{
+			DialTimeout: *dialTimeout,
+			RTTimeout:   *rtTimeout,
+			Retries:     *retries,
+			RetryBase:   *retryBackoff,
+		},
+		Health: fs.HealthConfig{
+			FailThreshold: *failThreshold,
+			ProbeInterval: *probeInterval,
+		},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eevfs-server: %v\n", err)
 		os.Exit(1)

@@ -34,6 +34,7 @@ import (
 	"eevfs/internal/disk"
 	"eevfs/internal/experiments"
 	"eevfs/internal/fs"
+	"eevfs/internal/proto"
 	"eevfs/internal/replay"
 	"eevfs/internal/trace"
 	"eevfs/internal/workload"
@@ -110,6 +111,14 @@ type (
 	ServerConfig = fs.ServerConfig
 	// NodeConfig configures a storage-node daemon.
 	NodeConfig = fs.NodeConfig
+	// ClientConfig configures a client's transport (timeouts, retries).
+	ClientConfig = fs.ClientConfig
+	// TransportConfig bounds and retries every round trip on a
+	// connection (dial/round-trip timeouts, retry backoff).
+	TransportConfig = proto.TransportConfig
+	// HealthConfig tunes the server's node failure detection and
+	// background health probing.
+	HealthConfig = fs.HealthConfig
 	// Server is a running storage-server daemon.
 	Server = fs.Server
 	// Node is a running storage-node daemon.
@@ -118,14 +127,30 @@ type (
 	Client = fs.Client
 )
 
+// Typed failure sentinels from the prototype's network path; check with
+// errors.Is against any client-returned error.
+var (
+	// ErrNodeUnavailable: the file's storage node is partitioned,
+	// crashed, or repeatedly timing out.
+	ErrNodeUnavailable = fs.ErrNodeUnavailable
+	// ErrFileNotFound: the name is not in the server's namespace.
+	ErrFileNotFound = fs.ErrFileNotFound
+)
+
 // StartServer launches the storage-server daemon.
 func StartServer(cfg ServerConfig) (*Server, error) { return fs.StartServer(cfg) }
 
 // StartNode launches a storage-node daemon.
 func StartNode(cfg NodeConfig) (*Node, error) { return fs.StartNode(cfg) }
 
-// Dial connects a client to a storage server.
+// Dial connects a client to a storage server with default transport
+// settings.
 func Dial(serverAddr string) (*Client, error) { return fs.Dial(serverAddr) }
+
+// DialConfig connects a client with explicit timeout/retry settings.
+func DialConfig(serverAddr string, cfg ClientConfig) (*Client, error) {
+	return fs.DialConfig(serverAddr, cfg)
+}
 
 // Experiments layer.
 type (

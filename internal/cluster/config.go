@@ -129,6 +129,13 @@ type Config struct {
 	// paper's prototype used. Only meaningful with Prefetch; ignored by
 	// the hint planner (hints assume the static plan).
 	ReprefetchEvery int
+
+	// DownNodes lists node indices that are out of service for the whole
+	// run: the simulated mirror of the prototype server's degraded-mode
+	// placement, where files land only on healthy nodes. Down nodes
+	// receive no files and contribute no power draw. At least one node
+	// must stay up.
+	DownNodes []int
 }
 
 // Validate reports the first problem with the configuration.
@@ -183,7 +190,38 @@ func (c Config) Validate() error {
 	case c.ReprefetchEvery > 0 && c.Hints:
 		return fmt.Errorf("cluster: ReprefetchEvery is incompatible with static Hints plans; disable Hints")
 	}
+	down := make(map[int]bool, len(c.DownNodes))
+	for _, idx := range c.DownNodes {
+		if idx < 0 || idx >= len(c.Nodes) {
+			return fmt.Errorf("cluster: DownNodes index %d out of range [0,%d)", idx, len(c.Nodes))
+		}
+		if down[idx] {
+			return fmt.Errorf("cluster: DownNodes lists node %d twice", idx)
+		}
+		down[idx] = true
+	}
+	if len(down) == len(c.Nodes) {
+		return fmt.Errorf("cluster: all %d nodes down", len(c.Nodes))
+	}
 	return nil
+}
+
+// upNodes returns the configs of the nodes still in service, in order.
+func (c Config) upNodes() []NodeConfig {
+	if len(c.DownNodes) == 0 {
+		return c.Nodes
+	}
+	down := make(map[int]bool, len(c.DownNodes))
+	for _, idx := range c.DownNodes {
+		down[idx] = true
+	}
+	up := make([]NodeConfig, 0, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if !down[i] {
+			up = append(up, n)
+		}
+	}
+	return up
 }
 
 // DataDisksPerNode returns the uniform per-node data-disk count.

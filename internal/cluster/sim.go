@@ -188,6 +188,12 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 	if err := tr.Validate(); err != nil {
 		return Result{}, err
 	}
+	// Degraded-mode placement: drop out-of-service nodes before building
+	// anything, so files land (and power is drawn) only where the cluster
+	// is actually serving — mirroring the prototype server, which skips
+	// unhealthy nodes in its placement round-robin.
+	cfg.Nodes = cfg.upNodes()
+	cfg.DownNodes = nil
 
 	s := &sim{cfg: cfg, tr: tr, eng: &simtime.Engine{}, fetching: make(map[int]bool)}
 	if cfg.ReprefetchEvery > 0 {

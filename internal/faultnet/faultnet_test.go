@@ -1,0 +1,383 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer returns the address of a TCP echo server that lives until
+// the test ends.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello eevfs")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	nw.SetFault(addr, Fault{Latency: 50 * time.Millisecond})
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	// One write + at least one read, each padded by the injected latency.
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 100ms of injected latency", elapsed)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	nw.SetFault(addr, Fault{BandwidthBps: 64 * 1024})
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := make([]byte, 16*1024) // 16KiB at 64KiB/s = 250ms
+	start := time.Now()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("16KiB at 64KiB/s took %v, want >= ~250ms", elapsed)
+	}
+}
+
+func TestRefuseDialsBudget(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	nw.SetFault(addr, Fault{RefuseDials: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := nw.Dial(addr, time.Second); err == nil {
+			t.Fatalf("dial %d succeeded, want injected refusal", i)
+		}
+	}
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after budget exhausted: %v", err)
+	}
+	conn.Close()
+}
+
+func TestRefuseAllDials(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	nw.SetFault(addr, Fault{RefuseDials: -1})
+	for i := 0; i < 5; i++ {
+		if _, err := nw.Dial(addr, time.Second); err == nil {
+			t.Fatal("dial succeeded under RefuseDials: -1")
+		}
+	}
+	nw.Heal(addr)
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	conn.Close()
+}
+
+// TestPartitionBoundedByDeadline: a partition applied after the
+// connection is up must make reads block — but only until the deadline,
+// surfacing as a net.Error timeout, never a hang.
+func TestPartitionBoundedByDeadline(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Prove the connection works, then partition it.
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	nw.Partition(addr)
+
+	conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("read succeeded through a partition")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("partition read error = %v, want net.Error timeout", err)
+	}
+	if elapsed < 90*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("partition read returned after %v, want ~100ms", elapsed)
+	}
+
+	// Writes black-hole: success reported, nothing delivered.
+	if _, err := conn.Write([]byte("lost")); err != nil {
+		t.Fatalf("partition write = %v, want silent black hole", err)
+	}
+
+	// Dials refuse while partitioned.
+	if _, err := nw.Dial(addr, time.Second); err == nil {
+		t.Fatal("dial succeeded through a partition")
+	}
+
+	// Heal: a waiting read unblocks once traffic flows again.
+	nw.Heal(addr)
+	conn2, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn2, make([]byte, 1)); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+// TestHealUnblocksWaitingRead: a read already parked on a partitioned
+// connection resumes when the partition heals before its deadline.
+func TestHealUnblocksWaitingRead(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	nw.Partition(addr)
+
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(conn, make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	nw.Heal(addr)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after heal")
+	}
+}
+
+// TestDropAfterBytesBudget: with DropConns = 1 only the first connection
+// dies mid-stream; the next one is clean.
+func TestDropAfterBytesBudget(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	nw.SetFault(addr, Fault{DropAfterBytes: 8, DropConns: 1})
+
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err) // reaches the threshold
+	}
+	if _, err := conn.Write([]byte("more")); err == nil {
+		t.Fatal("write past DropAfterBytes succeeded")
+	}
+	conn.Close()
+
+	conn2, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write(make([]byte, 64)); err != nil {
+		t.Fatalf("second connection hit exhausted drop budget: %v", err)
+	}
+}
+
+// TestDropAppliesToExistingConn: DropConns = 0 subjects connections
+// established before the fault was installed.
+func TestDropAppliesToExistingConn(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(1)
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetFault(addr, Fault{DropAfterBytes: 8}) // already exceeded
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write on pre-existing conn survived a DropConns=0 fault")
+	}
+}
+
+func TestCorruptBytesDeterministic(t *testing.T) {
+	mk := func() []byte {
+		b := make([]byte, 256)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	CorruptBytes(a, 64, 0, 7)
+	CorruptBytes(b, 64, 0, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+
+	// Exactly one byte per 64-byte window flips.
+	orig := mk()
+	flips := 0
+	for i := range a {
+		if a[i] != orig[i] {
+			flips++
+		}
+	}
+	if flips != 4 {
+		t.Fatalf("flipped %d bytes in 256/64 windows, want 4", flips)
+	}
+
+	// A different seed corrupts differently.
+	c := mk()
+	CorruptBytes(c, 64, 0, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+
+	// Split application at an arbitrary boundary matches one-shot: the
+	// stream offset, not the buffer, decides positions.
+	d := mk()
+	off := CorruptBytes(d[:100], 64, 0, 7)
+	CorruptBytes(d[100:], 64, off, 7)
+	if !bytes.Equal(a, d) {
+		t.Fatal("chunked corruption diverged from one-shot corruption")
+	}
+}
+
+// TestCorruptionOnWire: corruption installed on the path garbles what the
+// peer receives.
+func TestCorruptionOnWire(t *testing.T) {
+	addr := echoServer(t)
+	nw := New(42)
+	nw.SetFault(addr, Fault{CorruptEvery: 16})
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := make([]byte, 64)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	// Write corrupts 4 windows on the way out; the echo comes back through
+	// Read which corrupts further. Either way the zeros must be gone.
+	if bytes.Equal(got, msg) {
+		t.Fatal("corruption fault delivered clean bytes")
+	}
+}
+
+// TestWrapListener: faults keyed by the listener's address apply to
+// accepted (server-side) connections.
+func TestWrapListener(t *testing.T) {
+	nw := New(1)
+	ln, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	nw.SetFault(addr, Fault{Latency: 60 * time.Millisecond})
+
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+
+	conn, err := net.Dial("tcp", addr) // plain client: fault sits server-side
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("server-side latency not applied: round trip %v", elapsed)
+	}
+}

@@ -2,72 +2,89 @@ package fs
 
 import (
 	"fmt"
-	"net"
 	"sync"
 
 	"eevfs/internal/proto"
 )
+
+// ClientConfig configures a client's transport behavior.
+type ClientConfig struct {
+	// Dialer opens connections to the server and nodes (nil = plain TCP).
+	Dialer proto.Dialer
+	// Transport bounds and retries every round trip.
+	Transport proto.TransportConfig
+}
 
 // Client talks to a storage server for metadata and directly to storage
 // nodes for data (steps 5-6 of the paper's process flow). Safe for
 // concurrent use; each underlying connection carries one round trip at a
 // time.
 type Client struct {
-	mu     sync.Mutex
-	server net.Conn
-	nodes  map[string]net.Conn
+	cfg    ClientConfig
+	server *proto.Endpoint
+
+	mu    sync.Mutex
+	nodes map[string]*proto.Endpoint
 }
 
-// Dial connects to the storage server.
+// Dial connects to the storage server with default transport settings.
 func Dial(serverAddr string) (*Client, error) {
-	conn, err := net.Dial("tcp", serverAddr)
-	if err != nil {
+	return DialConfig(serverAddr, ClientConfig{})
+}
+
+// DialConfig connects to the storage server with explicit transport
+// settings.
+func DialConfig(serverAddr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{
+		cfg:    cfg,
+		server: proto.NewEndpoint(serverAddr, cfg.Dialer, cfg.Transport),
+		nodes:  make(map[string]*proto.Endpoint),
+	}
+	if err := c.server.Connect(); err != nil {
 		return nil, fmt.Errorf("fs: dialing server %s: %w", serverAddr, err)
 	}
-	return &Client{server: conn, nodes: make(map[string]net.Conn)}, nil
+	return c, nil
 }
 
 // Close shuts down all connections.
 func (c *Client) Close() error {
+	err := c.server.Close()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := c.server.Close()
-	for _, conn := range c.nodes {
-		conn.Close()
+	for _, ep := range c.nodes {
+		ep.Close()
 	}
-	c.nodes = map[string]net.Conn{}
+	c.nodes = map[string]*proto.Endpoint{}
 	return err
 }
 
-// serverRT performs one round trip on the server connection.
+// serverRT performs one round trip on the server connection. Remote
+// failures come back re-typed so callers can errors.Is against
+// ErrNodeUnavailable / ErrFileNotFound.
 func (c *Client) serverRT(t proto.Type, payload []byte) (proto.Type, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return proto.RoundTrip(c.server, t, payload)
+	rt, rp, err := c.server.Call(t, payload)
+	if err != nil {
+		return rt, rp, mapRemote(err)
+	}
+	return rt, rp, nil
 }
 
-// nodeRT performs one round trip on a (cached) node connection.
+// nodeRT performs one round trip on a (cached) node endpoint. The
+// endpoint handles redials, deadlines, and retries; a dead connection is
+// always discarded before the next attempt.
 func (c *Client) nodeRT(addr string, t proto.Type, payload []byte) (proto.Type, []byte, error) {
 	c.mu.Lock()
-	conn, ok := c.nodes[addr]
+	ep, ok := c.nodes[addr]
 	if !ok {
-		var err error
-		conn, err = net.Dial("tcp", addr)
-		if err != nil {
-			c.mu.Unlock()
-			return 0, nil, fmt.Errorf("fs: dialing node %s: %w", addr, err)
-		}
-		c.nodes[addr] = conn
-	}
-	rt, rp, err := proto.RoundTrip(conn, t, payload)
-	if err != nil && !isRemoteErr(err) {
-		// Transport failure: drop the cached connection so the next call
-		// redials.
-		conn.Close()
-		delete(c.nodes, addr)
+		ep = proto.NewEndpoint(addr, c.cfg.Dialer, c.cfg.Transport)
+		c.nodes[addr] = ep
 	}
 	c.mu.Unlock()
-	return rt, rp, err
+	rt, rp, err := ep.Call(t, payload)
+	if err != nil {
+		return rt, rp, mapRemote(err)
+	}
+	return rt, rp, nil
 }
 
 // Create registers a new file with the server and uploads its content to

@@ -1,0 +1,101 @@
+package fs
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"time"
+
+	"eevfs/internal/proto"
+)
+
+// ErrNodeUnavailable marks operations refused (or failed) because the
+// target storage node is unhealthy: partitioned, crashed, or repeatedly
+// timing out. Callers check it with errors.Is; over the wire it travels
+// as proto.CodeUnavailable and the client maps it back.
+var ErrNodeUnavailable = errors.New("node unavailable")
+
+// ErrFileNotFound marks requests naming an unknown file. Over the wire it
+// travels as proto.CodeNotFound.
+var ErrFileNotFound = errors.New("no such file")
+
+// isRemoteErr reports whether err is the peer's application-level
+// failure (a typed proto.RemoteError — previously detected by slicing
+// err.Error(), which broke on wrapped errors).
+func isRemoteErr(err error) bool {
+	var re *proto.RemoteError
+	return errors.As(err, &re)
+}
+
+// isTransportErr reports whether err died below the application layer
+// (dial failure, timeout, reset, short frame).
+func isTransportErr(err error) bool {
+	var te *proto.TransportError
+	return errors.As(err, &te)
+}
+
+// errCode classifies an error for the wire.
+func errCode(err error) proto.Code {
+	var re *proto.RemoteError
+	switch {
+	case errors.Is(err, ErrNodeUnavailable):
+		return proto.CodeUnavailable
+	case errors.Is(err, ErrFileNotFound):
+		return proto.CodeNotFound
+	case errors.As(err, &re):
+		return re.Code // forwarded node error keeps its classification
+	default:
+		return proto.CodeGeneric
+	}
+}
+
+// mapRemote re-types a classified remote error so client-side callers can
+// use errors.Is(err, ErrNodeUnavailable) / errors.Is(err, ErrFileNotFound)
+// across the wire gap.
+func mapRemote(err error) error {
+	var re *proto.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	switch re.Code {
+	case proto.CodeUnavailable:
+		return &classifiedError{err: err, is: ErrNodeUnavailable}
+	case proto.CodeNotFound:
+		return &classifiedError{err: err, is: ErrFileNotFound}
+	default:
+		return err
+	}
+}
+
+// classifiedError carries a remote error plus the sentinel it maps to.
+type classifiedError struct {
+	err error
+	is  error
+}
+
+func (e *classifiedError) Error() string        { return e.err.Error() }
+func (e *classifiedError) Unwrap() error        { return e.err }
+func (e *classifiedError) Is(target error) bool { return target == e.is }
+
+// deadlineConn arms a write deadline before every Write, so responding to
+// a stalled or partitioned peer cannot hang a serving goroutine forever.
+type deadlineConn struct {
+	net.Conn
+	writeTimeout time.Duration
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.writeTimeout > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	return c.Conn.Write(p)
+}
+
+// errorPayload builds the TError frame body for err. Remote-error text is
+// forwarded without re-prefixing ("remote: remote: ..." chains confuse
+// more than they explain).
+func errorPayload(err error) []byte {
+	msg := err.Error()
+	msg = strings.TrimPrefix(msg, "remote: ")
+	return proto.ErrorMsg{Msg: msg, Code: errCode(err)}.Encode()
+}

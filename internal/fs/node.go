@@ -50,6 +50,9 @@ type NodeConfig struct {
 	// Chunk reads and writes proceed in parallel across the spindles.
 	// Zero stores each file whole on one data disk.
 	StripeChunkBytes int64
+	// WriteTimeout bounds writing one response frame, so a stalled or
+	// partitioned peer cannot pin a serving goroutine (default 30s).
+	WriteTimeout time.Duration
 	// Logger receives operational messages (nil = log.Default).
 	Logger *log.Logger
 }
@@ -115,6 +118,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(os.Stderr, "eevfs-node ", log.LstdFlags)
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	n := &Node{
 		cfg:        cfg,
@@ -208,13 +214,14 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.mu.Unlock()
 		conn.Close()
 	}()
+	dc := &deadlineConn{Conn: conn, writeTimeout: n.cfg.WriteTimeout}
 	for {
 		t, payload, err := proto.ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		if err := n.dispatch(conn, t, payload); err != nil {
-			werr := proto.WriteFrame(conn, proto.TError, proto.ErrorMsg{Msg: err.Error()}.Encode())
+		if err := n.dispatch(dc, t, payload); err != nil {
+			werr := proto.WriteFrame(dc, proto.TError, errorPayload(err))
 			if werr != nil {
 				return
 			}

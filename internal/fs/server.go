@@ -7,12 +7,35 @@ import (
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"eevfs/internal/metadata"
 	"eevfs/internal/prefetch"
 	"eevfs/internal/proto"
 	"eevfs/internal/trace"
 )
+
+// HealthConfig tunes node failure detection and recovery.
+type HealthConfig struct {
+	// FailThreshold marks a node unhealthy after this many consecutive
+	// transport failures (default 3).
+	FailThreshold int
+	// ProbeInterval is the background health-check period: every tick the
+	// server pings each node over a dedicated probe connection, so
+	// partitions are detected without client traffic and dead nodes are
+	// readmitted when they return. Default 1s; negative disables probing.
+	ProbeInterval time.Duration
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	return c
+}
 
 // ServerConfig configures the storage-server daemon.
 type ServerConfig struct {
@@ -26,46 +49,61 @@ type ServerConfig struct {
 	StateFile string
 	// Logger receives operational messages (nil = stderr default).
 	Logger *log.Logger
+	// Dialer opens the server -> node connections (nil = plain TCP).
+	// Chaos tests inject a faultnet.Network here.
+	Dialer proto.Dialer
+	// Transport bounds and retries every server -> node round trip.
+	Transport proto.TransportConfig
+	// Health tunes node failure detection and recovery probing.
+	Health HealthConfig
+	// WriteTimeout bounds writing one response frame to a client, so a
+	// stalled client cannot pin a serving goroutine (default 30s).
+	WriteTimeout time.Duration
 }
 
 // nodeHandle is the server's persistent connection to one storage node
 // (step 1 of the process flow: "the server ... establishes a TCP/IP
-// connection to each storage node").
+// connection to each storage node") plus its health state. The probe
+// endpoint is separate so background health checks never queue behind —
+// or get stuck ahead of — real traffic on the main connection.
 type nodeHandle struct {
-	addr string
-	mu   sync.Mutex // one in-flight round trip per node connection
-	conn net.Conn
+	addr  string
+	ep    *proto.Endpoint
+	probe *proto.Endpoint
+
+	mu        sync.Mutex
+	fails     int // consecutive transport failures
+	unhealthy bool
 }
 
-// roundTrip sends a request to the node, redialing once on a dead
-// connection.
-func (h *nodeHandle) roundTrip(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+// healthy reports whether the node is currently in service.
+func (h *nodeHandle) healthy() bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for attempt := 0; ; attempt++ {
-		if h.conn == nil {
-			c, err := net.Dial("tcp", h.addr)
-			if err != nil {
-				return 0, nil, fmt.Errorf("fs: dialing node %s: %w", h.addr, err)
-			}
-			h.conn = c
-		}
-		rt, rp, err := proto.RoundTrip(h.conn, t, payload)
-		if err == nil {
-			return rt, rp, nil
-		}
-		// Remote application errors are final; transport errors get one
-		// redial.
-		if isRemoteErr(err) || attempt > 0 {
-			return 0, nil, err
-		}
-		h.conn.Close()
-		h.conn = nil
-	}
+	return !h.unhealthy
 }
 
-func isRemoteErr(err error) bool {
-	return err != nil && len(err.Error()) > 7 && err.Error()[:7] == "remote:"
+// note feeds one round-trip outcome into the health state, returning +1
+// when the node just recovered, -1 when it was just marked unhealthy,
+// and 0 on no transition. Remote application errors count as proof of
+// life: the node answered.
+func (h *nodeHandle) note(err error, failThreshold int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err == nil || isRemoteErr(err) {
+		h.fails = 0
+		if h.unhealthy {
+			h.unhealthy = false
+			return +1
+		}
+		return 0
+	}
+	h.fails++
+	if !h.unhealthy && h.fails >= failThreshold {
+		h.unhealthy = true
+		return -1
+	}
+	return 0
 }
 
 // Server is a running storage-server daemon.
@@ -85,6 +123,8 @@ type Server struct {
 	closing  bool
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+	probeWg  sync.WaitGroup
+	stop     chan struct{}
 }
 
 // StartServer binds the listener and begins serving. Node daemons must be
@@ -96,15 +136,28 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(os.Stderr, "eevfs-server ", log.LstdFlags)
 	}
+	cfg.Health = cfg.Health.withDefaults()
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
 	s := &Server{
 		cfg:    cfg,
 		meta:   metadata.NewServerMap(),
 		clock:  NewClock(1),
 		logger: cfg.Logger,
 		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
 	}
-	for _, addr := range cfg.NodeAddrs {
-		s.nodes = append(s.nodes, &nodeHandle{addr: addr})
+	for i, addr := range cfg.NodeAddrs {
+		tc := cfg.Transport
+		tc.Seed = cfg.Transport.Seed + int64(i) + 1 // decorrelate per-node jitter
+		probeCfg := tc
+		probeCfg.Retries = -1 // probes are frequent; one attempt each
+		s.nodes = append(s.nodes, &nodeHandle{
+			addr:  addr,
+			ep:    proto.NewEndpoint(addr, cfg.Dialer, tc),
+			probe: proto.NewEndpoint(addr, cfg.Dialer, probeCfg),
+		})
 	}
 	if err := s.loadState(); err != nil {
 		return nil, err
@@ -116,6 +169,10 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if cfg.Health.ProbeInterval > 0 {
+		s.probeWg.Add(1)
+		go s.probeLoop()
+	}
 	return s, nil
 }
 
@@ -130,20 +187,66 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closing = true
+	close(s.stop)
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	s.probeWg.Wait()
 	for _, h := range s.nodes {
-		h.mu.Lock()
-		if h.conn != nil {
-			h.conn.Close()
-		}
-		h.mu.Unlock()
+		h.ep.Close()
+		h.probe.Close()
 	}
 	return err
+}
+
+// roundTrip runs one request on a node's main connection and feeds the
+// outcome into its health state.
+func (s *Server) roundTrip(h *nodeHandle, t proto.Type, payload []byte) (proto.Type, []byte, error) {
+	rt, rp, err := h.ep.Call(t, payload)
+	s.noteNode(h, err)
+	return rt, rp, err
+}
+
+func (s *Server) noteNode(h *nodeHandle, err error) {
+	switch h.note(err, s.cfg.Health.FailThreshold) {
+	case -1:
+		s.logger.Printf("node %s marked unhealthy: %v", h.addr, err)
+	case +1:
+		s.logger.Printf("node %s recovered", h.addr)
+	}
+}
+
+// probeLoop pings every node each interval on its dedicated probe
+// connection: detection for partitions no client is exercising, and the
+// recovery path for nodes marked unhealthy.
+func (s *Server) probeLoop() {
+	defer s.probeWg.Done()
+	ticker := time.NewTicker(s.cfg.Health.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, h := range s.nodes {
+			_, _, err := h.probe.Call(proto.TNodeStatsReq, nil)
+			s.noteNode(h, err)
+		}
+	}
+}
+
+// Healthy reports each node's current health (index-aligned with the
+// configured NodeAddrs).
+func (s *Server) Healthy() []bool {
+	out := make([]bool, len(s.nodes))
+	for i, h := range s.nodes {
+		out[i] = h.healthy()
+	}
+	return out
 }
 
 func (s *Server) acceptLoop() {
@@ -174,14 +277,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	dc := &deadlineConn{Conn: conn, writeTimeout: s.cfg.WriteTimeout}
 	for {
 		t, payload, err := proto.ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		if err := s.dispatch(conn, t, payload); err != nil {
-			if werr := proto.WriteFrame(conn, proto.TError,
-				proto.ErrorMsg{Msg: err.Error()}.Encode()); werr != nil {
+		if err := s.dispatch(dc, t, payload); err != nil {
+			if werr := proto.WriteFrame(dc, proto.TError, errorPayload(err)); werr != nil {
 				return
 			}
 		}
@@ -250,8 +353,24 @@ func (s *Server) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
 	}
 }
 
-// handleCreate assigns the next node round-robin (creation order embodies
-// popularity order, Section IV-A), registers metadata, and tells the node.
+// pickNode chooses the next healthy node round-robin (creation order
+// embodies popularity order, Section IV-A; unhealthy nodes are skipped so
+// new files land only where they can be written — degraded-mode
+// placement). Callers hold s.mu.
+func (s *Server) pickNodeLocked() (int, error) {
+	for i := 0; i < len(s.nodes); i++ {
+		idx := s.nextNode % len(s.nodes)
+		s.nextNode++
+		if s.nodes[idx].healthy() {
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("fs: %w: all %d storage nodes unhealthy",
+		ErrNodeUnavailable, len(s.nodes))
+}
+
+// handleCreate assigns the next healthy node, registers metadata, and
+// tells the node.
 func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 	if req.Name == "" {
 		return proto.CreateResp{}, errors.New("fs: empty file name")
@@ -264,15 +383,18 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 	}
 
 	s.mu.Lock()
+	nodeIdx, err := s.pickNodeLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return proto.CreateResp{}, err
+	}
 	id := s.nextID
 	s.nextID++
-	nodeIdx := s.nextNode % len(s.nodes)
-	s.nextNode++
 	s.sizes = append(s.sizes, req.Size)
 	s.mu.Unlock()
 
 	h := s.nodes[nodeIdx]
-	if _, _, err := h.roundTrip(proto.TNodeCreateReq,
+	if _, _, err := s.roundTrip(h, proto.TNodeCreateReq,
 		proto.NodeCreateReq{FileID: id, Size: req.Size}.Encode()); err != nil {
 		return proto.CreateResp{}, err
 	}
@@ -287,11 +409,18 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 }
 
 // handleLookup resolves a name and journals the access (the append-only
-// popularity log of Section IV).
+// popularity log of Section IV). Lookups of files on unhealthy nodes fail
+// fast with a typed unavailable error instead of handing the client an
+// address that would hang it.
 func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 	fi, ok := s.meta.LookupName(req.Name)
 	if !ok {
-		return proto.LookupResp{}, fmt.Errorf("fs: no such file %q", req.Name)
+		return proto.LookupResp{}, fmt.Errorf("fs: %w %q", ErrFileNotFound, req.Name)
+	}
+	h := s.nodes[fi.Node]
+	if !h.healthy() {
+		return proto.LookupResp{}, fmt.Errorf("fs: %w: file %q is on node %s",
+			ErrNodeUnavailable, req.Name, h.addr)
 	}
 	s.mu.Lock()
 	s.accesses.Append(trace.Record{
@@ -305,17 +434,21 @@ func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 	return proto.LookupResp{
 		FileID:   int64(fi.ID),
 		Size:     fi.Size,
-		NodeAddr: s.nodes[fi.Node].addr,
+		NodeAddr: h.addr,
 	}, nil
 }
 
 func (s *Server) handleDelete(req proto.DeleteReq) error {
 	fi, ok := s.meta.LookupName(req.Name)
 	if !ok {
-		return fmt.Errorf("fs: no such file %q", req.Name)
+		return fmt.Errorf("fs: %w %q", ErrFileNotFound, req.Name)
 	}
 	h := s.nodes[fi.Node]
-	if _, _, err := h.roundTrip(proto.TNodeDeleteReq,
+	if !h.healthy() {
+		return fmt.Errorf("fs: %w: file %q is on node %s",
+			ErrNodeUnavailable, req.Name, h.addr)
+	}
+	if _, _, err := s.roundTrip(h, proto.TNodeDeleteReq,
 		proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode()); err != nil {
 		return err
 	}
@@ -326,7 +459,8 @@ func (s *Server) handleDelete(req proto.DeleteReq) error {
 
 // handlePrefetch ranks files by logged popularity, picks the global top
 // K, groups the picks by owning node, and commands each node (steps 2-3
-// of the process flow).
+// of the process flow). Unhealthy nodes are skipped — a degraded cluster
+// still prefetches everywhere it can.
 func (s *Server) handlePrefetch(k int) (int64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("fs: negative prefetch count %d", k)
@@ -354,7 +488,13 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 
 	var total int64
 	for nodeIdx, fileIDs := range perNode {
-		_, payload, err := s.nodes[nodeIdx].roundTrip(proto.TNodePrefetchReq,
+		h := s.nodes[nodeIdx]
+		if !h.healthy() {
+			s.logger.Printf("prefetch: skipping unhealthy node %s (%d files)",
+				h.addr, len(fileIDs))
+			continue
+		}
+		_, payload, err := s.roundTrip(h, proto.TNodePrefetchReq,
 			proto.NodePrefetchReq{FileIDs: fileIDs}.Encode())
 		if err != nil {
 			return total, fmt.Errorf("fs: prefetch on node %d: %w", nodeIdx, err)
@@ -371,10 +511,10 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 	// not fatal — hints are advisory ("EEVFS can operate without the
 	// application hints", Section IV-C).
 	for nodeIdx, hints := range s.hintsPerNode() {
-		if len(hints) == 0 {
+		if len(hints) == 0 || !s.nodes[nodeIdx].healthy() {
 			continue
 		}
-		if _, _, err := s.nodes[nodeIdx].roundTrip(proto.TNodeHintsReq,
+		if _, _, err := s.roundTrip(s.nodes[nodeIdx], proto.TNodeHintsReq,
 			proto.NodeHintsReq{Hints: hints}.Encode()); err != nil {
 			s.logger.Printf("forwarding hints to node %d: %v", nodeIdx, err)
 		}
@@ -425,12 +565,17 @@ func (s *Server) hintsPerNode() map[int][]proto.FileHint {
 	return out
 }
 
-// handleStats gathers per-disk stats from every node, prefixing disk
-// names with the node index.
+// handleStats gathers per-disk stats from every healthy node, prefixing
+// disk names with the node index. Unhealthy nodes are skipped so a
+// degraded cluster still reports what it can.
 func (s *Server) handleStats() (proto.StatsResp, error) {
 	var out proto.StatsResp
 	for i, h := range s.nodes {
-		_, payload, err := h.roundTrip(proto.TNodeStatsReq, nil)
+		if !h.healthy() {
+			s.logger.Printf("stats: skipping unhealthy node %s", h.addr)
+			continue
+		}
+		_, payload, err := s.roundTrip(h, proto.TNodeStatsReq, nil)
 		if err != nil {
 			return proto.StatsResp{}, fmt.Errorf("fs: stats from node %d: %w", i, err)
 		}

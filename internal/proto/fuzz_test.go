@@ -41,6 +41,9 @@ func FuzzMessageDecoders(f *testing.F) {
 	f.Add(ListResp{Names: []string{"a", "b"}}.Encode())
 	f.Add(StatsResp{Disks: []DiskStats{{Name: "d", EnergyJ: 1}}}.Encode())
 	f.Add(NodePrefetchReq{FileIDs: []int64{1, 2}}.Encode())
+	f.Add(ErrorMsg{Msg: "boom", Code: CodeUnavailable}.Encode())
+	legacy := ErrorMsg{Msg: "legacy"}.Encode()
+	f.Add(legacy[:len(legacy)-4]) // pre-Code encoding: message only
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -68,6 +71,14 @@ func FuzzMessageDecoders(f *testing.F) {
 		}
 		if m, err := DecodeNodePrefetchReq(input); err == nil {
 			_ = m.Encode()
+		}
+		if m, err := DecodeErrorMsg(input); err == nil {
+			// Re-encoding always emits the Code; it must decode back to
+			// the same message (legacy inputs gain CodeGeneric).
+			rt, err := DecodeErrorMsg(m.Encode())
+			if err != nil || rt != m {
+				t.Fatalf("ErrorMsg round trip mismatch: %+v vs %+v (%v)", m, rt, err)
+			}
 		}
 	})
 }

@@ -9,18 +9,56 @@ import (
 // Decode returning an error means the peer sent a malformed frame and the
 // connection should be dropped.
 
-// ErrorMsg is sent in place of any response when a request fails.
-type ErrorMsg struct{ Msg string }
+// Code coarsely classifies a remote error so peers can react without
+// parsing message text.
+type Code uint32
+
+// Remote error codes.
+const (
+	// CodeGeneric is any unclassified application failure.
+	CodeGeneric Code = iota
+	// CodeNotFound is a request naming an unknown file.
+	CodeNotFound
+	// CodeUnavailable means the request's target storage node is marked
+	// unhealthy and the operation was refused rather than attempted.
+	CodeUnavailable
+)
+
+// ErrorMsg is sent in place of any response when a request fails. The
+// code rides after the message so frames from pre-code peers (string
+// only) still decode.
+type ErrorMsg struct {
+	Msg  string
+	Code Code
+}
 
 // Encode serializes the message body.
-func (m ErrorMsg) Encode() []byte { var e Encoder; return e.Str(m.Msg).Bytes() }
+func (m ErrorMsg) Encode() []byte {
+	var e Encoder
+	return e.Str(m.Msg).U32(uint32(m.Code)).Bytes()
+}
 
 // DecodeErrorMsg parses an ErrorMsg payload.
 func DecodeErrorMsg(b []byte) (ErrorMsg, error) {
 	d := NewDecoder(b)
 	m := ErrorMsg{Msg: d.Str()}
+	if d.Err() == nil && d.Remaining() >= 4 {
+		m.Code = Code(d.U32())
+	}
 	return m, d.Err()
 }
+
+// RemoteError is an application-level failure reported by the peer in a
+// TError frame. It is distinct from transport failures: the connection
+// remains healthy and the operation must not be retried blindly.
+type RemoteError struct {
+	Code Code
+	Msg  string
+}
+
+// Error implements error. The "remote: " prefix is kept stable for log
+// grepping (it predates the typed error).
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
 
 // CreateReq asks the storage server to create a file; the server assigns
 // a node and file id. Size is declared up front so placement and the
@@ -430,7 +468,7 @@ func RoundTrip(rw io.ReadWriter, t Type, payload []byte) (Type, []byte, error) {
 		if derr != nil {
 			return 0, nil, fmt.Errorf("proto: undecodable error response: %w", derr)
 		}
-		return 0, nil, fmt.Errorf("remote: %s", em.Msg)
+		return 0, nil, &RemoteError{Code: em.Code, Msg: em.Msg}
 	}
 	return rt, rp, nil
 }

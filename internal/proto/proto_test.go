@@ -120,8 +120,10 @@ func TestMessageRoundTrips(t *testing.T) {
 		decode func([]byte) (any, error)
 		want   any
 	}{
-		{"ErrorMsg", ErrorMsg{"boom"}.Encode,
-			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"boom"}},
+		{"ErrorMsg", ErrorMsg{"boom", CodeGeneric}.Encode,
+			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"boom", CodeGeneric}},
+		{"ErrorMsgCoded", ErrorMsg{"gone", CodeUnavailable}.Encode,
+			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"gone", CodeUnavailable}},
 		{"CreateReq", CreateReq{"f.dat", 123}.Encode,
 			func(b []byte) (any, error) { return DecodeCreateReq(b) }, CreateReq{"f.dat", 123}},
 		{"CreateResp", CreateResp{7, "1.2.3.4:9"}.Encode,
@@ -252,12 +254,16 @@ func TestRoundTripHelper(t *testing.T) {
 
 func TestRoundTripErrorResponse(t *testing.T) {
 	var toPeer, fromPeer bytes.Buffer
-	if err := WriteFrame(&fromPeer, TError, ErrorMsg{"no such file"}.Encode()); err != nil {
+	if err := WriteFrame(&fromPeer, TError, ErrorMsg{Msg: "no such file", Code: CodeNotFound}.Encode()); err != nil {
 		t.Fatal(err)
 	}
 	_, _, err := RoundTrip(pipeRW{&fromPeer, &toPeer}, TLookupReq, nil)
 	if err == nil || err.Error() != "remote: no such file" {
 		t.Fatalf("err = %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeNotFound {
+		t.Fatalf("want typed *RemoteError with CodeNotFound, got %#v", err)
 	}
 }
 

@@ -1,0 +1,235 @@
+// Transport: the connection-management layer under every EEVFS round
+// trip. The paper's process flow keeps one persistent TCP connection per
+// peer (server -> each storage node, client -> server and nodes); an
+// Endpoint owns such a connection and gives every round trip a connect
+// deadline, an overall read/write deadline, and bounded retries with
+// jittered exponential backoff. Transport failures discard the connection
+// (a half-written request or half-read response poisons the stream) and
+// surface as *TransportError; remote application failures surface as
+// *RemoteError and never retry.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialer opens transport connections. The production implementation is
+// NetDialer; chaos tests inject a *faultnet.Network.
+type Dialer interface {
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// NetDialer is the plain-TCP Dialer.
+type NetDialer struct{}
+
+// Dial implements Dialer.
+func (NetDialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// Transport timeout/retry defaults.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultRTTimeout   = 10 * time.Second
+	DefaultRetries     = 2
+	DefaultRetryBase   = 25 * time.Millisecond
+	DefaultRetryMax    = 1 * time.Second
+)
+
+// TransportConfig bounds and retries every round trip on an Endpoint.
+// Zero fields take the Default* constants.
+type TransportConfig struct {
+	// DialTimeout bounds establishing the TCP connection.
+	DialTimeout time.Duration
+	// RTTimeout bounds one whole round trip (request write + response
+	// read) once connected.
+	RTTimeout time.Duration
+	// Retries is how many additional attempts follow a failed one.
+	// Negative disables retrying (a single attempt).
+	Retries int
+	// RetryBase is the first backoff delay; it doubles per attempt.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay.
+	RetryMax time.Duration
+	// Seed seeds the backoff jitter (0 = a fixed default), keeping retry
+	// schedules reproducible in tests.
+	Seed int64
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.RTTimeout <= 0 {
+		c.RTTimeout = DefaultRTTimeout
+	}
+	if c.Retries == 0 {
+		c.Retries = DefaultRetries
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = DefaultRetryMax
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TransportError reports a round trip that failed below the application
+// layer: dial failure, timeout, reset, or short frame. The last attempt's
+// underlying error is wrapped.
+type TransportError struct {
+	Addr     string
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("proto: transport to %s failed after %d attempt(s): %v",
+		e.Addr, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the final attempt died on a deadline.
+func (e *TransportError) Timeout() bool {
+	var ne net.Error
+	return errors.As(e.Err, &ne) && ne.Timeout()
+}
+
+// Endpoint is one peer's persistent connection plus the retry policy
+// around it. It serializes round trips (the paper's single connection per
+// storage node carries one request at a time) and is safe for concurrent
+// use. The zero value is not usable; call NewEndpoint.
+type Endpoint struct {
+	addr string
+	dial Dialer
+	cfg  TransportConfig
+
+	mu     sync.Mutex
+	conn   net.Conn
+	rng    *rand.Rand
+	closed bool
+}
+
+// NewEndpoint prepares (without dialing) an endpoint for addr. A nil
+// dialer means plain TCP.
+func NewEndpoint(addr string, d Dialer, cfg TransportConfig) *Endpoint {
+	if d == nil {
+		d = NetDialer{}
+	}
+	cfg = cfg.withDefaults()
+	return &Endpoint{
+		addr: addr,
+		dial: d,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Addr returns the peer address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Connect dials eagerly (Call otherwise dials lazily on first use).
+func (e *Endpoint) Connect() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ensureConnLocked()
+}
+
+// Close discards the connection; a later Call would redial.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	if e.conn != nil {
+		err := e.conn.Close()
+		e.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (e *Endpoint) ensureConnLocked() error {
+	if e.closed {
+		return net.ErrClosed
+	}
+	if e.conn != nil {
+		return nil
+	}
+	c, err := e.dial.Dial(e.addr, e.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	e.conn = c
+	return nil
+}
+
+// backoffLocked returns the jittered delay before retry attempt n >= 1:
+// RetryBase doubled per attempt, capped at RetryMax, jittered to
+// [50%, 100%] so synchronized retry storms decorrelate.
+func (e *Endpoint) backoffLocked(attempt int) time.Duration {
+	d := e.cfg.RetryBase
+	for i := 1; i < attempt && d < e.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > e.cfg.RetryMax {
+		d = e.cfg.RetryMax
+	}
+	return d/2 + time.Duration(e.rng.Int63n(int64(d/2)+1))
+}
+
+// Call performs one round trip with the configured deadlines and
+// retries. Remote application errors (*RemoteError) are final and leave
+// the connection cached; any transport error closes and clears the
+// connection before the next attempt — a dead stream must never leak
+// into a later round trip.
+func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var last error
+	attempts := 0
+	for attempt := 0; attempt <= e.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			d := e.backoffLocked(attempt)
+			e.mu.Unlock() // don't hold the endpoint through the backoff sleep
+			time.Sleep(d)
+			e.mu.Lock()
+		}
+		attempts++
+		if err := e.ensureConnLocked(); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return 0, nil, &TransportError{Addr: e.addr, Attempts: attempts, Err: err}
+			}
+			last = err
+			continue
+		}
+		e.conn.SetDeadline(time.Now().Add(e.cfg.RTTimeout))
+		rt, rp, err := RoundTrip(e.conn, t, payload)
+		if err == nil {
+			e.conn.SetDeadline(time.Time{})
+			return rt, rp, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			e.conn.SetDeadline(time.Time{})
+			return 0, nil, err
+		}
+		e.conn.Close()
+		e.conn = nil
+		last = err
+	}
+	return 0, nil, &TransportError{Addr: e.addr, Attempts: attempts, Err: last}
+}

@@ -1,0 +1,280 @@
+package proto
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// frameServer runs a one-frame-at-a-time protocol peer. handle returns
+// the response frame, or ok=false to slam the connection shut instead of
+// answering (a mid-message failure).
+func frameServer(t *testing.T, handle func(Type, []byte) (Type, []byte, bool)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					ty, payload, err := ReadFrame(c)
+					if err != nil {
+						return
+					}
+					rt, rp, ok := handle(ty, payload)
+					if !ok {
+						return
+					}
+					if err := WriteFrame(c, rt, rp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// countingDialer tracks dials and live (unclosed) connections.
+type countingDialer struct {
+	mu    sync.Mutex
+	dials int
+	live  int
+	fail  int // dials to fail before succeeding
+}
+
+func (d *countingDialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d.mu.Lock()
+	d.dials++
+	if d.fail > 0 {
+		d.fail--
+		d.mu.Unlock()
+		return nil, errors.New("injected dial failure")
+	}
+	d.live++
+	d.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &countedConn{Conn: c, d: d}, nil
+}
+
+func (d *countingDialer) stats() (dials, live int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials, d.live
+}
+
+type countedConn struct {
+	net.Conn
+	d    *countingDialer
+	once sync.Once
+}
+
+func (c *countedConn) Close() error {
+	c.once.Do(func() {
+		c.d.mu.Lock()
+		c.d.live--
+		c.d.mu.Unlock()
+	})
+	return c.Conn.Close()
+}
+
+func fastRetry(retries int) TransportConfig {
+	return TransportConfig{
+		RTTimeout: 500 * time.Millisecond,
+		Retries:   retries,
+		RetryBase: time.Millisecond,
+		RetryMax:  4 * time.Millisecond,
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	addr := frameServer(t, func(ty Type, p []byte) (Type, []byte, bool) {
+		return ty + 1, append([]byte("ok:"), p...), true
+	})
+	ep := NewEndpoint(addr, nil, fastRetry(2))
+	defer ep.Close()
+	rt, rp, err := ep.Call(TLookupReq, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != TLookupReq+1 || string(rp) != "ok:x" {
+		t.Fatalf("got type %d payload %q", rt, rp)
+	}
+}
+
+// TestCallRetriesTransientDialFailure: a dial that fails once succeeds on
+// the retry attempt without surfacing an error to the caller.
+func TestCallRetriesTransientDialFailure(t *testing.T) {
+	addr := frameServer(t, func(ty Type, p []byte) (Type, []byte, bool) {
+		return ty, p, true
+	})
+	d := &countingDialer{fail: 1}
+	ep := NewEndpoint(addr, d, fastRetry(2))
+	defer ep.Close()
+	if _, _, err := ep.Call(TListReq, nil); err != nil {
+		t.Fatalf("call with one transient dial failure: %v", err)
+	}
+	if dials, _ := d.stats(); dials != 2 {
+		t.Fatalf("dials = %d, want 2 (1 failed + 1 good)", dials)
+	}
+}
+
+// TestRemoteErrorFinalAndConnKept: a remote application error must not be
+// retried, and the healthy connection must stay cached for the next call.
+func TestRemoteErrorFinalAndConnKept(t *testing.T) {
+	var calls atomic.Int64
+	addr := frameServer(t, func(ty Type, p []byte) (Type, []byte, bool) {
+		calls.Add(1)
+		return TError, ErrorMsg{Msg: "nope", Code: CodeNotFound}.Encode(), true
+	})
+	d := &countingDialer{}
+	ep := NewEndpoint(addr, d, fastRetry(3))
+	defer ep.Close()
+
+	_, _, err := ep.Call(TLookupReq, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeNotFound {
+		t.Fatalf("err = %v, want *RemoteError with CodeNotFound", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (remote errors are final)", n)
+	}
+	if _, _, err := ep.Call(TLookupReq, nil); err == nil || !errors.As(err, &re) {
+		t.Fatalf("second call = %v, want remote error on the cached conn", err)
+	}
+	if dials, _ := d.stats(); dials != 1 {
+		t.Fatalf("dials = %d, want 1 (remote error must not discard the conn)", dials)
+	}
+}
+
+// TestTransportErrorDiscardsConn is the regression test for the dead
+// connection leak: when the peer dies mid-round-trip, the endpoint must
+// close the broken connection (not strand it) and redial for the next
+// attempt.
+func TestTransportErrorDiscardsConn(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	addr := frameServer(t, func(ty Type, p []byte) (Type, []byte, bool) {
+		if failing.Load() {
+			return 0, nil, false // slam the connection, no response
+		}
+		return ty, p, true
+	})
+	d := &countingDialer{}
+	ep := NewEndpoint(addr, d, fastRetry(1))
+	defer ep.Close()
+
+	_, _, err := ep.Call(TListReq, nil)
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TransportError", err)
+	}
+	if te.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", te.Attempts)
+	}
+	dials, live := d.stats()
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2 (fresh conn per attempt)", dials)
+	}
+	if live != 0 {
+		t.Fatalf("%d broken connections still open — the leak is back", live)
+	}
+
+	failing.Store(false)
+	if _, _, err := ep.Call(TListReq, nil); err != nil {
+		t.Fatalf("call after peer recovery: %v", err)
+	}
+	if _, live := d.stats(); live != 1 {
+		t.Fatalf("live conns = %d, want exactly the one cached conn", live)
+	}
+}
+
+// TestCallTimeoutBounded: a peer that accepts but never answers must cost
+// at most ~(attempts x RTTimeout + backoff), not hang.
+func TestCallTimeoutBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			// Read and ignore everything; never respond.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	cfg := fastRetry(-1) // single attempt
+	cfg.RTTimeout = 150 * time.Millisecond
+	ep := NewEndpoint(ln.Addr().String(), nil, cfg)
+	defer ep.Close()
+
+	start := time.Now()
+	_, _, err = ep.Call(TListReq, nil)
+	elapsed := time.Since(start)
+	var te *TransportError
+	if !errors.As(err, &te) || !te.Timeout() {
+		t.Fatalf("err = %v, want timing-out *TransportError", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("silent peer cost %v, want bounded by ~RTTimeout", elapsed)
+	}
+}
+
+// TestBackoffDeterministicAndBounded: same seed, same schedule; every
+// delay lies in [base/2, max].
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	cfg := TransportConfig{RetryBase: 10 * time.Millisecond, RetryMax: 80 * time.Millisecond, Seed: 99}
+	a := NewEndpoint("x", nil, cfg)
+	b := NewEndpoint("x", nil, cfg)
+	for attempt := 1; attempt <= 6; attempt++ {
+		da := a.backoffLocked(attempt)
+		db := b.backoffLocked(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: %v vs %v with identical seeds", attempt, da, db)
+		}
+		if da < cfg.RetryBase/2 || da > cfg.RetryMax {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]",
+				attempt, da, cfg.RetryBase/2, cfg.RetryMax)
+		}
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	addr := frameServer(t, func(ty Type, p []byte) (Type, []byte, bool) { return ty, p, true })
+	ep := NewEndpoint(addr, nil, fastRetry(2))
+	if _, _, err := ep.Call(TListReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	_, _, err := ep.Call(TListReq, nil)
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("call after close = %v, want net.ErrClosed", err)
+	}
+}
