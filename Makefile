@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify
+.PHONY: build test race vet fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ fuzz:
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrame -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzMessageDecoders -fuzztime=15s
 	$(GO) test ./internal/faultnet -run=^$$ -fuzz=FuzzCorruptedFrames -fuzztime=15s
+
+# Snapshot every benchmark once (test2json stream) so perf regressions
+# can be diffed against a committed baseline.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_baseline.json
 
 # The full pre-merge gate: vet + build + the whole suite under the race
 # detector (the chaos tests in internal/fs exercise real concurrency).

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"eevfs/internal/fs"
 	"eevfs/internal/proto"
@@ -168,21 +169,73 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		var energy float64
-		var ups, downs int64
-		fmt.Printf("%-22s %-12s %10s %8s %8s %10s %12s\n",
+		printStats(stats)
+
+	default:
+		usage()
+	}
+}
+
+// nodeOf splits a cluster-wide stats name ("node0/data1",
+// "node2/node.buffer.hits") into its node group and the local remainder.
+// Names without a prefix belong to the server itself.
+func nodeOf(name string) (group, rest string) {
+	if i := strings.Index(name, "/"); i > 0 && strings.HasPrefix(name, "node") {
+		return name[:i], name[i+1:]
+	}
+	return "server", name
+}
+
+// printStats renders the cluster stats as one energy/transition table per
+// storage node, cluster totals, and — when the peers report them — the
+// telemetry counters grouped the same way.
+func printStats(stats proto.StatsResp) {
+	groups := []string{}
+	byGroup := map[string][]proto.DiskStats{}
+	for _, d := range stats.Disks {
+		g, _ := nodeOf(d.Name)
+		if _, ok := byGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		byGroup[g] = append(byGroup[g], d)
+	}
+
+	var energy float64
+	var ups, downs int64
+	for _, g := range groups {
+		fmt.Printf("%s:\n", g)
+		fmt.Printf("  %-20s %-12s %10s %8s %8s %10s %12s\n",
 			"disk", "state", "energy(J)", "spin-up", "spin-dn", "requests", "bytes")
-		for _, d := range stats.Disks {
-			fmt.Printf("%-22s %-12s %10.1f %8d %8d %10d %12d\n",
-				d.Name, d.State, d.EnergyJ, d.SpinUps, d.SpinDowns, d.Requests, d.BytesMoved)
+		for _, d := range byGroup[g] {
+			_, local := nodeOf(d.Name)
+			fmt.Printf("  %-20s %-12s %10.1f %8d %8d %10d %12d\n",
+				local, d.State, d.EnergyJ, d.SpinUps, d.SpinDowns, d.Requests, d.BytesMoved)
 			energy += d.EnergyJ
 			ups += d.SpinUps
 			downs += d.SpinDowns
 		}
-		fmt.Printf("total: %.1f J disk energy, %d power-state transitions\n", energy, ups+downs)
+	}
+	fmt.Printf("total: %.1f J disk energy, %d power-state transitions\n", energy, ups+downs)
 
-	default:
-		usage()
+	if len(stats.Counters) == 0 {
+		return
+	}
+	fmt.Println("\ncounters:")
+	cgroups := []string{}
+	byCGroup := map[string][]proto.CounterStat{}
+	for _, c := range stats.Counters {
+		g, _ := nodeOf(c.Name)
+		if _, ok := byCGroup[g]; !ok {
+			cgroups = append(cgroups, g)
+		}
+		byCGroup[g] = append(byCGroup[g], c)
+	}
+	for _, g := range cgroups {
+		fmt.Printf("  %s:\n", g)
+		for _, c := range byCGroup[g] {
+			_, local := nodeOf(c.Name)
+			fmt.Printf("    %-40s %12d\n", local, c.Value)
+		}
 	}
 }
 
@@ -196,7 +249,7 @@ commands:
   prefetch <k>              prefetch the top-k popular files
   populate <trace-file>     create a trace's files (popularity order)
   replay <trace-file>       replay a trace (see -time-scale, -size-scale)
-  stats                     per-disk energy and power-state report`)
+  stats                     per-node disk energy, power-state and counter report`)
 	os.Exit(2)
 }
 

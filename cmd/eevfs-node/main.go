@@ -20,6 +20,7 @@ import (
 
 	"eevfs/internal/disk"
 	"eevfs/internal/fs"
+	"eevfs/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		noLatency   = flag.Bool("no-latency", false, "disable modeled latency injection")
 		writeBuffer = flag.Bool("write-buffer", false, "buffer writes on the buffer disk (Section III-C)")
 		stripe      = flag.Int64("stripe", 0, "stripe chunk size in bytes (0 = whole-file placement)")
+		adminAddr   = flag.String("admin-addr", "",
+			"admin HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -50,9 +53,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *telemetry.Registry
+	if *adminAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+
 	node, err := fs.StartNode(fs.NodeConfig{
 		Addr:             *addr,
 		RootDir:          *root,
+		Metrics:          reg,
 		DataDisks:        *dataDisks,
 		DataModel:        m,
 		BufferModel:      m,
@@ -68,6 +77,24 @@ func main() {
 	}
 	fmt.Printf("eevfs-node listening on %s (root %s, %d data disks, model %s)\n",
 		node.Addr(), *root, *dataDisks, m.Name)
+
+	if *adminAddr != "" {
+		admin, err := telemetry.StartAdmin(*adminAddr, reg, func() any {
+			hits, misses, bufWrites := node.Counters()
+			return map[string]any{
+				"buffer_hits":     hits,
+				"buffer_misses":   misses,
+				"buffered_writes": bufWrites,
+			}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eevfs-node: admin listener: %v\n", err)
+			node.Close()
+			os.Exit(1)
+		}
+		defer admin.Close()
+		fmt.Printf("eevfs-node admin endpoint on http://%s/metrics\n", admin.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

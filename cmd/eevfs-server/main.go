@@ -14,6 +14,7 @@ import (
 
 	"eevfs/internal/fs"
 	"eevfs/internal/proto"
+	"eevfs/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 			"consecutive transport failures before a node is marked unhealthy")
 		probeInterval = flag.Duration("probe-interval", time.Second,
 			"background node health-check period (negative = disabled)")
+		adminAddr = flag.String("admin-addr", "",
+			"admin HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -51,10 +54,16 @@ func main() {
 		*retries = -1 // flag 0 means "no retries"; config 0 means "default"
 	}
 
+	var reg *telemetry.Registry
+	if *adminAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+
 	srv, err := fs.StartServer(fs.ServerConfig{
 		Addr:      *addr,
 		NodeAddrs: addrs,
 		StateFile: *state,
+		Metrics:   reg,
 		Transport: proto.TransportConfig{
 			DialTimeout: *dialTimeout,
 			RTTimeout:   *rtTimeout,
@@ -71,6 +80,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("eevfs-server listening on %s, %d storage nodes\n", srv.Addr(), len(addrs))
+
+	if *adminAddr != "" {
+		admin, err := telemetry.StartAdmin(*adminAddr, reg, func() any {
+			return map[string]any{"healthy_nodes": srv.Healthy()}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eevfs-server: admin listener: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer admin.Close()
+		fmt.Printf("eevfs-server admin endpoint on http://%s/metrics\n", admin.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

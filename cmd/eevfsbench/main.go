@@ -12,6 +12,7 @@
 //	eevfsbench -requests 200       # shrink traces for a quick pass
 //	eevfsbench -list               # list experiment ids
 //	eevfsbench -trace t.txt        # PF vs NPF on an external trace file
+//	eevfsbench -chrome-trace o.json  # export one PF run's timeline for Perfetto
 package main
 
 import (
@@ -22,7 +23,9 @@ import (
 
 	"eevfs/internal/cluster"
 	"eevfs/internal/experiments"
+	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
+	"eevfs/internal/workload"
 )
 
 // runTraceFile simulates an external trace under PF and NPF on the
@@ -56,6 +59,61 @@ func runTraceFile(path string) error {
 	return nil
 }
 
+// exportChromeTrace simulates one PF run on the default testbed — against
+// an external trace file or the default synthetic workload — with the
+// event journal attached, and writes the timeline as Chrome trace-event
+// JSON loadable in ui.perfetto.dev or chrome://tracing.
+func exportChromeTrace(out, traceIn string, requests int, seed uint64) error {
+	var tr *trace.Trace
+	var err error
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Parse(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		wcfg := workload.DefaultSynthetic()
+		if requests > 0 {
+			wcfg.NumRequests = requests
+		}
+		if seed != 0 {
+			wcfg.Seed = seed
+		}
+		tr, err = workload.Synthetic(wcfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := cluster.DefaultTestbed()
+	jour := &telemetry.Journal{}
+	cfg.Journal = jour
+	res, err := cluster.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, jour.Events(), res.MakespanSec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d journal events (%d power transitions, %.0f s makespan) to %s\n",
+		jour.Len(), res.Transitions, res.MakespanSec, out)
+	return nil
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
@@ -65,8 +123,17 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override workload seed (default 1)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		traceIn  = flag.String("trace", "", "run PF vs NPF on a trace file (eevfs-trace/1 format) and exit")
+		chromeO  = flag.String("chrome-trace", "", "simulate one PF run and write its timeline as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+
+	if *chromeO != "" {
+		if err := exportChromeTrace(*chromeO, *traceIn, *requests, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceIn != "" {
 		if err := runTraceFile(*traceIn); err != nil {

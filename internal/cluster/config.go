@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"eevfs/internal/disk"
+	"eevfs/internal/telemetry"
 )
 
 // NodeConfig describes one storage node.
@@ -136,6 +137,19 @@ type Config struct {
 	// receive no files and contribute no power draw. At least one node
 	// must stay up.
 	DownNodes []int
+
+	// Metrics, when non-nil, receives live counters and histograms from
+	// the run (request counts, buffer hits/misses, response-time and
+	// queue-wait histograms, spin-up/spin-down counts). Nil disables
+	// metric collection with no hot-path overhead.
+	Metrics *telemetry.Registry
+
+	// Journal, when non-nil, receives the structured event timeline of
+	// the run: every disk power-state transition, every disk service
+	// (with queue wait), and every client-visible request, all stamped
+	// with simulated time — so runs stay deterministic. Export it with
+	// telemetry.WriteChromeTrace for a Perfetto-loadable timeline.
+	Journal *telemetry.Journal
 }
 
 // Validate reports the first problem with the configuration.

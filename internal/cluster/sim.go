@@ -11,6 +11,7 @@ import (
 	"eevfs/internal/placement"
 	"eevfs/internal/prefetch"
 	"eevfs/internal/simtime"
+	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
 )
 
@@ -44,6 +45,11 @@ type request struct {
 	// release lists, per buffer-disk index, the occupancy a completed
 	// flush frees (opFlush only).
 	release []int64
+
+	// Telemetry timestamps: when the request joined a disk queue and when
+	// its service began (for the journal's queue-wait accounting).
+	enqAt   simtime.Time
+	startAt simtime.Time
 }
 
 // simDisk wraps a disk state machine with its queue and power-management
@@ -51,6 +57,7 @@ type request struct {
 type simDisk struct {
 	d         *disk.Disk
 	node      *simNode
+	name      string // journal subject, e.g. "node0/data1"
 	isBuffer  bool
 	dataIndex int // -1 for the buffer disk
 
@@ -123,6 +130,11 @@ type sim struct {
 	readResp  metrics.Sampler
 	writeResp metrics.Sampler
 	res       Result
+
+	// Telemetry sinks (both optional): pre-resolved metric handles and
+	// the structured event journal.
+	met  simMetrics
+	jour *telemetry.Journal
 }
 
 // bufferFor maps a file to its buffer disk (files hash across the m
@@ -196,6 +208,8 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 	cfg.DownNodes = nil
 
 	s := &sim{cfg: cfg, tr: tr, eng: &simtime.Engine{}, fetching: make(map[int]bool)}
+	s.met = newSimMetrics(cfg.Metrics)
+	s.jour = cfg.Journal
 	if cfg.ReprefetchEvery > 0 {
 		s.observedCounts = make([]int, tr.NumFiles())
 	}
@@ -270,20 +284,25 @@ func (s *sim) buildNodes() {
 			if buffers > 1 {
 				name = fmt.Sprintf("node%d/buffer%d", i, j)
 			}
-			n.buffers = append(n.buffers, &simDisk{
+			sd := &simDisk{
 				d:         disk.New(name, nc.BufferModel),
 				node:      n,
 				isBuffer:  true,
 				dataIndex: -1,
-			})
+			}
+			s.instrumentDisk(sd, name)
+			n.buffers = append(n.buffers, sd)
 		}
 		n.bufUsed = make([]int64, buffers)
 		for j := 0; j < nc.DataDisks; j++ {
-			n.data = append(n.data, &simDisk{
-				d:         disk.New(fmt.Sprintf("node%d/data%d", i, j), nc.DataModel),
+			name := fmt.Sprintf("node%d/data%d", i, j)
+			sd := &simDisk{
+				d:         disk.New(name, nc.DataModel),
 				node:      n,
 				dataIndex: j,
-			})
+			}
+			s.instrumentDisk(sd, name)
+			n.data = append(n.data, sd)
 		}
 		n.bufCap = s.cfg.BufferCapacityBytes
 		if n.bufCap == 0 {
@@ -442,14 +461,17 @@ func (s *sim) nodeArrival(now simtime.Time, rec trace.Record, sentAt simtime.Tim
 		switch {
 		case s.cfg.Prefetch && s.prefetched[rec.FileID]:
 			s.res.BufferHits++
+			s.met.bufferHits.Inc()
 			buf, _ := n.bufferFor(rec.FileID)
 			s.enqueue(buf, &request{kind: opRead, fileID: rec.FileID, size: rec.Size, sentAt: sentAt}, now)
 		case s.cfg.MAID && s.maidHit(n, rec.FileID):
 			s.res.BufferHits++
+			s.met.bufferHits.Inc()
 			buf, _ := n.bufferFor(rec.FileID)
 			s.enqueue(buf, &request{kind: opRead, fileID: rec.FileID, size: rec.Size, sentAt: sentAt}, now)
 		default:
 			s.res.BufferMisses++
+			s.met.bufferMisses.Inc()
 			s.fanToDataDisks(n, rec.FileID, rec.Size, sentAt, opRead, now)
 		}
 
@@ -510,11 +532,13 @@ func (s *sim) writeArrived(n *simNode, rec trace.Record, sentAt, now simtime.Tim
 			dd.pendingPerBuffer[bi] += ch.bytes
 		}
 		s.res.BufferedWrites++
+		s.met.bufferedWrites.Inc()
 		buf, _ := n.bufferFor(rec.FileID)
 		s.enqueue(buf, &request{kind: opWrite, fileID: rec.FileID, size: rec.Size, sentAt: sentAt}, now)
 		return
 	}
 	s.res.DirectWrites++
+	s.met.directWrites.Inc()
 	s.fanToDataDisks(n, rec.FileID, rec.Size, sentAt, opWrite, now)
 }
 
@@ -525,6 +549,7 @@ func (s *sim) enqueue(d *simDisk, r *request, now simtime.Time) {
 		s.eng.Cancel(d.idleTimer)
 		d.idleTimer = nil
 	}
+	r.enqAt = now
 	d.queue = append(d.queue, r)
 	s.ensureAwake(d, now)
 }
@@ -569,6 +594,7 @@ func (s *sim) startService(d *simDisk, now simtime.Time) {
 	d.queue = d.queue[1:]
 	d.busy = true
 	d.cur = r
+	r.startAt = now
 	d.d.BeginService(now)
 
 	var dur float64
@@ -587,6 +613,7 @@ func (s *sim) diskDone(d *simDisk, now simtime.Time) {
 	d.d.EndService(now, r.size)
 	d.busy = false
 	d.cur = nil
+	s.noteService(d, r, now)
 
 	switch r.kind {
 	case opRead:
@@ -724,6 +751,7 @@ func (s *sim) evictColdest(n *simNode, bufIdx int, want prefetch.Set) bool {
 }
 
 func (s *sim) record(r *request, rt float64) {
+	s.noteResponse(r, rt)
 	s.resp.Add(rt)
 	if r.kind == opRead {
 		s.readResp.Add(rt)
@@ -792,7 +820,7 @@ func (s *sim) onIdle(d *simDisk, now simtime.Time) {
 
 	// Piggyback the write-buffer flush on an awake, idle disk.
 	if d.pendingFlushBytes > 0 && d.d.State() == disk.Idle {
-		r := &request{kind: opFlush, size: d.pendingFlushBytes, release: d.pendingPerBuffer}
+		r := &request{kind: opFlush, size: d.pendingFlushBytes, release: d.pendingPerBuffer, enqAt: now}
 		d.pendingFlushBytes = 0
 		d.pendingPerBuffer = nil
 		s.addWork(1)

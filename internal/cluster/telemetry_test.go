@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"eevfs/internal/telemetry"
+	"eevfs/internal/workload"
+)
+
+// TestTelemetryMatchesResultAndExport is the simulator acceptance
+// scenario: on a workload where disks actually sleep and wake, the event
+// journal and the metric counters agree exactly with Result, attaching
+// telemetry does not perturb the simulation, and the exported Chrome
+// trace carries one transition slice per counted power-state transition.
+func TestTelemetryMatchesResultAndExport(t *testing.T) {
+	wcfg := workload.DefaultSynthetic()
+	wcfg.MU = 1000 // partial prefetch coverage: misses wake sleeping disks
+	tr, err := workload.Synthetic(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := Run(DefaultTestbed(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultTestbed()
+	reg := telemetry.NewRegistry()
+	jour := &telemetry.Journal{}
+	cfg.Metrics = reg
+	cfg.Journal = jour
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry must be a pure observer: bit-identical Result.
+	if !reflect.DeepEqual(plain, res) {
+		t.Fatal("attaching telemetry changed the simulation result")
+	}
+	if res.Transitions == 0 {
+		t.Fatal("workload produced no transitions; the test needs sleeping disks")
+	}
+
+	// Journal agrees with the paper's transition count.
+	if got := jour.CountStates("spinning-up", "spinning-down"); got != res.Transitions {
+		t.Errorf("journaled transitions = %d, Result.Transitions = %d", got, res.Transitions)
+	}
+
+	// Metrics agree with Result.
+	snap := reg.Snapshot()
+	spins := snap.Counters["sim.disk.spinups"] + snap.Counters["sim.disk.spindowns"]
+	if int(spins) != res.Transitions {
+		t.Errorf("metric transitions = %d, Result.Transitions = %d", spins, res.Transitions)
+	}
+	if got := snap.Counters["sim.requests"]; got != int64(res.Requests) {
+		t.Errorf("sim.requests = %d, Result.Requests = %d", got, res.Requests)
+	}
+	if got := snap.Counters["sim.buffer.hits"]; got != res.BufferHits {
+		t.Errorf("sim.buffer.hits = %d, Result.BufferHits = %d", got, res.BufferHits)
+	}
+	if got := snap.Counters["sim.buffer.misses"]; got != res.BufferMisses {
+		t.Errorf("sim.buffer.misses = %d, Result.BufferMisses = %d", got, res.BufferMisses)
+	}
+	h, ok := snap.Histograms["sim.response.seconds"]
+	if !ok || h.Count != int64(res.Response.N) {
+		t.Errorf("sim.response.seconds count = %d, Result.Response.N = %d", h.Count, res.Response.N)
+	}
+
+	// The Chrome export carries exactly one slice per transition.
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, jour.Events(), res.MakespanSec); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			DurUs float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range ct.TraceEvents {
+		if e.Phase == "X" && (e.Name == "spinning-up" || e.Name == "spinning-down") {
+			spans++
+			if e.DurUs <= 0 {
+				t.Errorf("transition slice %q has non-positive duration %g", e.Name, e.DurUs)
+			}
+		}
+	}
+	if spans != res.Transitions {
+		t.Errorf("exported transition slices = %d, Result.Transitions = %d", spans, res.Transitions)
+	}
+}
+
+// TestTelemetryDisabledJournalsNothing: the nil-sink configuration stays
+// a true no-op (no observer installed, nothing journaled).
+func TestTelemetryDisabledJournalsNothing(t *testing.T) {
+	res, err := Run(tinyConfig(), singleReadTrace(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 1 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	var jour *telemetry.Journal
+	if jour.Len() != 0 || jour.Events() != nil {
+		t.Fatal("nil journal not a no-op")
+	}
+}

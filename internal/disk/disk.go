@@ -181,7 +181,18 @@ type Disk struct {
 	stats      Stats
 	state      PowerState
 	stateSince simtime.Time
+	obs        Observer
 }
+
+// Observer receives every power-state transition as it happens, with the
+// state being left and the state being entered. It runs synchronously
+// inside the transition, so implementations must be cheap and must not
+// call back into the Disk. Telemetry (the simulator's event journal, the
+// storage node's transition counters) hangs off this hook.
+type Observer func(now simtime.Time, from, to PowerState)
+
+// SetObserver installs the transition observer (nil removes it).
+func (d *Disk) SetObserver(fn Observer) { d.obs = fn }
 
 // New creates a disk in the Idle state at time 0. It panics if the model
 // is invalid (construction-time programming error, not a runtime input).
@@ -223,7 +234,11 @@ func (d *Disk) Advance(now simtime.Time) {
 // transition integrates up to now and switches state.
 func (d *Disk) transition(now simtime.Time, to PowerState) {
 	d.Advance(now)
+	from := d.state
 	d.state = to
+	if d.obs != nil && from != to {
+		d.obs(now, from, to)
+	}
 }
 
 // BeginService marks the start of servicing a request at now. The disk

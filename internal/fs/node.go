@@ -14,6 +14,7 @@ import (
 	"eevfs/internal/metadata"
 	"eevfs/internal/proto"
 	"eevfs/internal/simtime"
+	"eevfs/internal/telemetry"
 )
 
 // NodeConfig configures one storage-node daemon.
@@ -55,6 +56,11 @@ type NodeConfig struct {
 	WriteTimeout time.Duration
 	// Logger receives operational messages (nil = log.Default).
 	Logger *log.Logger
+	// Metrics, when set, receives the node's telemetry: per-op latency
+	// histograms and error counters (node.op.*), buffer hit/miss/write
+	// counters (node.buffer.*), and power-state transition accounting
+	// (node.disk.*). Nil disables instrumentation.
+	Metrics *telemetry.Registry
 }
 
 func (c NodeConfig) validate() error {
@@ -108,6 +114,15 @@ type Node struct {
 	hits       int64
 	misses     int64
 	bufWrites  int64
+
+	// Pre-resolved telemetry handles (all no-ops with a nil registry);
+	// hitsC/missesC/bufWritesC mirror the counters above into the
+	// registry so the admin endpoint sees them live.
+	met        opMetrics
+	hitsC      *telemetry.Counter
+	missesC    *telemetry.Counter
+	bufWritesC *telemetry.Counter
+	flushesC   *telemetry.Counter
 }
 
 // StartNode creates the disk directories, binds the listener, and starts
@@ -133,21 +148,35 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		conns:      make(map[net.Conn]struct{}),
 	}
 
+	n.met = newOpMetrics(cfg.Metrics, "node", []proto.Type{
+		proto.TNodeCreateReq, proto.TNodeWriteReq, proto.TNodeReadReq,
+		proto.TNodeReadAtReq, proto.TNodeDeleteReq, proto.TNodePrefetchReq,
+		proto.TNodeHintsReq, proto.TNodeStatsReq,
+	})
+	n.hitsC = cfg.Metrics.Counter("node.buffer.hits")
+	n.missesC = cfg.Metrics.Counter("node.buffer.misses")
+	n.bufWritesC = cfg.Metrics.Counter("node.buffer.writes")
+	n.flushesC = cfg.Metrics.Counter("node.buffer.flushes")
+	diskObs := transitionObserver(cfg.Metrics, "node")
+
 	bufDir := filepath.Join(cfg.RootDir, "buffer")
 	if err := os.MkdirAll(bufDir, 0o755); err != nil {
 		return nil, fmt.Errorf("fs: creating buffer dir: %w", err)
 	}
 	n.buffer = &nodeDisk{d: disk.New("buffer", cfg.BufferModel), dir: bufDir, isBuffer: true, index: -1}
+	n.buffer.d.SetObserver(diskObs)
 	for i := 0; i < cfg.DataDisks; i++ {
 		dir := filepath.Join(cfg.RootDir, fmt.Sprintf("data%d", i))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("fs: creating data dir %d: %w", i, err)
 		}
-		n.data = append(n.data, &nodeDisk{
+		nd := &nodeDisk{
 			d:     disk.New(fmt.Sprintf("data%d", i), cfg.DataModel),
 			dir:   dir,
 			index: i,
-		})
+		}
+		nd.d.SetObserver(diskObs)
+		n.data = append(n.data, nd)
 	}
 
 	if err := n.loadManifest(); err != nil {
@@ -230,6 +259,13 @@ func (n *Node) serveConn(conn net.Conn) {
 }
 
 func (n *Node) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
+	start := time.Now()
+	err := n.dispatchInner(conn, t, payload)
+	n.met.observe(t, time.Since(start), err)
+	return err
+}
+
+func (n *Node) dispatchInner(conn net.Conn, t proto.Type, payload []byte) error {
 	switch t {
 	case proto.TNodeCreateReq:
 		req, err := proto.DecodeNodeCreateReq(payload)
@@ -443,6 +479,7 @@ func (n *Node) handleWrite(req proto.NodeWriteReq) (bool, error) {
 		n.dirty[int(req.FileID)] = int64(len(req.Data))
 		n.bufWrites++
 		n.mu.Unlock()
+		n.bufWritesC.Inc()
 		n.updateSize(entry, len(req.Data))
 		n.saveManifest()
 		return true, nil
@@ -494,6 +531,7 @@ func (n *Node) handleRead(fileID int64) ([]byte, bool, error) {
 			n.mu.Lock()
 			n.hits++
 			n.mu.Unlock()
+			n.hitsC.Inc()
 			return data, true, nil
 		}
 		// Fall through to the data disk on buffer damage.
@@ -507,6 +545,7 @@ func (n *Node) handleRead(fileID int64) ([]byte, bool, error) {
 	n.mu.Lock()
 	n.misses++
 	n.mu.Unlock()
+	n.missesC.Inc()
 	return data, false, nil
 }
 
@@ -615,6 +654,7 @@ func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
 			n.mu.Lock()
 			n.hits++
 			n.mu.Unlock()
+			n.hitsC.Inc()
 			return data, true, nil
 		}
 		n.logger.Printf("buffer ranged read of file %d failed, falling back: %v", req.FileID, err)
@@ -629,6 +669,7 @@ func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
 		n.mu.Lock()
 		n.misses++
 		n.mu.Unlock()
+		n.missesC.Inc()
 		return data, false, nil
 	}
 
@@ -653,6 +694,7 @@ func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
 	n.mu.Lock()
 	n.misses++
 	n.mu.Unlock()
+	n.missesC.Inc()
 	return out, false, nil
 }
 
@@ -787,6 +829,7 @@ func (n *Node) flushOne(id int) {
 	n.mu.Lock()
 	delete(n.dirty, id)
 	n.mu.Unlock()
+	n.flushesC.Inc()
 	// Drop the buffer copy unless it doubles as a prefetched replica.
 	if !entry.Prefetched {
 		os.Remove(filepath.Join(n.buffer.dir, name))
@@ -825,13 +868,26 @@ func (n *Node) diskWrite(nd *nodeDisk, name string, data []byte, sequential bool
 	return nil
 }
 
+// diskNow returns the current model time for one disk, floored at the
+// disk's accounting point: with latency injection off the previous
+// operation pushes the disk's clock ahead of real time (EndService is
+// charged at start + modeled duration), and handing the state machine an
+// earlier instant panics.
+func (n *Node) diskNow(nd *nodeDisk) simtime.Time {
+	now := n.clock.Now()
+	if ss := nd.d.StateSince(); now < ss {
+		return ss
+	}
+	return now
+}
+
 // wakeLocked brings a standby disk to Idle, charging spin-up latency.
 func (n *Node) wakeLocked(nd *nodeDisk) {
 	if nd.d.State() != disk.Standby {
 		return
 	}
 	m := nd.d.Model()
-	now := n.clock.Now()
+	now := n.diskNow(nd)
 	nd.d.BeginSpinUp(now)
 	if n.cfg.InjectLatency {
 		n.clock.Sleep(m.SpinUpSec)
@@ -850,7 +906,7 @@ func (n *Node) serviceLocked(nd *nodeDisk, size int64, sequential bool) {
 	if sequential {
 		dur = m.SequentialTime(size)
 	}
-	start := n.clock.Now()
+	start := n.diskNow(nd)
 	nd.d.BeginService(start)
 	if n.cfg.InjectLatency {
 		n.clock.Sleep(dur)
@@ -885,7 +941,7 @@ func (n *Node) armTimerLocked(nd *nodeDisk) {
 			return
 		}
 		m := nd.d.Model()
-		now := n.clock.Now()
+		now := n.diskNow(nd)
 		nd.d.BeginSpinDown(now)
 		if n.cfg.InjectLatency {
 			n.clock.Sleep(m.SpinDownSec)
@@ -904,7 +960,7 @@ func (n *Node) statsResp() proto.StatsResp {
 	snapshot := func(nd *nodeDisk) {
 		nd.mu.Lock()
 		defer nd.mu.Unlock()
-		nd.d.Advance(n.clock.Now())
+		nd.d.Advance(n.diskNow(nd))
 		st := nd.d.Stats()
 		resp.Disks = append(resp.Disks, proto.DiskStats{
 			Name:       st.Name,
@@ -919,6 +975,24 @@ func (n *Node) statsResp() proto.StatsResp {
 	snapshot(n.buffer)
 	for _, nd := range n.data {
 		snapshot(nd)
+	}
+	if reg := n.cfg.Metrics; reg != nil {
+		// The registry already mirrors the buffer counters (and carries
+		// the per-op and disk-transition telemetry on top), so export it
+		// wholesale.
+		for _, name := range reg.CounterNames() {
+			resp.Counters = append(resp.Counters, proto.CounterStat{
+				Name:  name,
+				Value: reg.Counter(name).Value(),
+			})
+		}
+	} else {
+		hits, misses, bufWrites := n.Counters()
+		resp.Counters = []proto.CounterStat{
+			{Name: "node.buffer.hits", Value: hits},
+			{Name: "node.buffer.misses", Value: misses},
+			{Name: "node.buffer.writes", Value: bufWrites},
+		}
 	}
 	return resp
 }

@@ -12,6 +12,7 @@ import (
 	"eevfs/internal/metadata"
 	"eevfs/internal/prefetch"
 	"eevfs/internal/proto"
+	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
 )
 
@@ -59,6 +60,12 @@ type ServerConfig struct {
 	// WriteTimeout bounds writing one response frame to a client, so a
 	// stalled client cannot pin a serving goroutine (default 30s).
 	WriteTimeout time.Duration
+	// Metrics, when set, receives the server's telemetry: per-op latency
+	// histograms and error counters (server.op.*), node-health
+	// transitions (server.health.*), placement decisions
+	// (server.placement.*), and — shared with the node endpoints — the
+	// proto.rt.* transport metrics. Nil disables instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // nodeHandle is the server's persistent connection to one storage node
@@ -115,6 +122,13 @@ type Server struct {
 	clock  *Clock
 	logger *log.Logger
 
+	// Pre-resolved telemetry handles (all no-ops with a nil registry).
+	met               opMetrics
+	healthTransitions *telemetry.Counter
+	healthyNodes      *telemetry.Gauge
+	placements        []*telemetry.Counter
+	accessCtr         *telemetry.Counter
+
 	mu       sync.Mutex
 	accesses trace.AccessLog
 	nextID   int64
@@ -148,16 +162,28 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 		stop:   make(chan struct{}),
 	}
+	s.met = newOpMetrics(cfg.Metrics, "server", []proto.Type{
+		proto.TCreateReq, proto.TLookupReq, proto.TListReq, proto.TDeleteReq,
+		proto.TPrefetchReq, proto.TStatsReq,
+	})
+	s.healthTransitions = cfg.Metrics.Counter("server.health.transitions")
+	s.healthyNodes = cfg.Metrics.Gauge("server.nodes.healthy")
+	s.healthyNodes.Set(float64(len(cfg.NodeAddrs)))
+	s.accessCtr = cfg.Metrics.Counter("server.accesses")
 	for i, addr := range cfg.NodeAddrs {
 		tc := cfg.Transport
 		tc.Seed = cfg.Transport.Seed + int64(i) + 1 // decorrelate per-node jitter
+		tc.Metrics = cfg.Metrics                    // node round trips feed proto.rt.*
 		probeCfg := tc
-		probeCfg.Retries = -1 // probes are frequent; one attempt each
+		probeCfg.Retries = -1  // probes are frequent; one attempt each
+		probeCfg.Metrics = nil // keep the per-second probe chatter out of the RPC metrics
 		s.nodes = append(s.nodes, &nodeHandle{
 			addr:  addr,
 			ep:    proto.NewEndpoint(addr, cfg.Dialer, tc),
 			probe: proto.NewEndpoint(addr, cfg.Dialer, probeCfg),
 		})
+		s.placements = append(s.placements,
+			cfg.Metrics.Counter(fmt.Sprintf("server.placement.node%d", i)))
 	}
 	if err := s.loadState(); err != nil {
 		return nil, err
@@ -214,8 +240,12 @@ func (s *Server) noteNode(h *nodeHandle, err error) {
 	switch h.note(err, s.cfg.Health.FailThreshold) {
 	case -1:
 		s.logger.Printf("node %s marked unhealthy: %v", h.addr, err)
+		s.healthTransitions.Inc()
+		s.healthyNodes.Add(-1)
 	case +1:
 		s.logger.Printf("node %s recovered", h.addr)
+		s.healthTransitions.Inc()
+		s.healthyNodes.Add(1)
 	}
 }
 
@@ -292,6 +322,13 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
+	start := time.Now()
+	err := s.dispatchInner(conn, t, payload)
+	s.met.observe(t, time.Since(start), err)
+	return err
+}
+
+func (s *Server) dispatchInner(conn net.Conn, t proto.Type, payload []byte) error {
 	switch t {
 	case proto.TCreateReq:
 		req, err := proto.DecodeCreateReq(payload)
@@ -394,6 +431,7 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 	s.mu.Unlock()
 
 	h := s.nodes[nodeIdx]
+	s.placements[nodeIdx].Inc()
 	if _, _, err := s.roundTrip(h, proto.TNodeCreateReq,
 		proto.NodeCreateReq{FileID: id, Size: req.Size}.Encode()); err != nil {
 		return proto.CreateResp{}, err
@@ -431,6 +469,7 @@ func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 		Size:   fi.Size,
 	})
 	s.mu.Unlock()
+	s.accessCtr.Inc()
 	return proto.LookupResp{
 		FileID:   int64(fi.ID),
 		Size:     fi.Size,
@@ -586,6 +625,18 @@ func (s *Server) handleStats() (proto.StatsResp, error) {
 		for _, ds := range resp.Disks {
 			ds.Name = fmt.Sprintf("node%d/%s", i, ds.Name)
 			out.Disks = append(out.Disks, ds)
+		}
+		for _, c := range resp.Counters {
+			c.Name = fmt.Sprintf("node%d/%s", i, c.Name)
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	// The server's own telemetry counters ride along un-prefixed (their
+	// names already carry the server./proto. namespaces).
+	if reg := s.cfg.Metrics; reg != nil {
+		for _, name := range reg.CounterNames() {
+			out.Counters = append(out.Counters,
+				proto.CounterStat{Name: name, Value: reg.Counter(name).Value()})
 		}
 	}
 	return out, nil

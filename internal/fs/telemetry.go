@@ -1,0 +1,94 @@
+package fs
+
+import (
+	"time"
+
+	"eevfs/internal/disk"
+	"eevfs/internal/proto"
+	"eevfs/internal/simtime"
+	"eevfs/internal/telemetry"
+)
+
+// opName maps a request type to the short operation name used in metric
+// names ("<prefix>.op.<name>.seconds" / ".errors").
+func opName(t proto.Type) string {
+	switch t {
+	case proto.TCreateReq, proto.TNodeCreateReq:
+		return "create"
+	case proto.TLookupReq:
+		return "lookup"
+	case proto.TListReq:
+		return "list"
+	case proto.TDeleteReq, proto.TNodeDeleteReq:
+		return "delete"
+	case proto.TPrefetchReq, proto.TNodePrefetchReq:
+		return "prefetch"
+	case proto.TStatsReq, proto.TNodeStatsReq:
+		return "stats"
+	case proto.TNodeReadReq:
+		return "read"
+	case proto.TNodeReadAtReq:
+		return "readat"
+	case proto.TNodeWriteReq:
+		return "write"
+	case proto.TNodeHintsReq:
+		return "hints"
+	default:
+		return "other"
+	}
+}
+
+// opMetrics pre-resolves one per-operation latency histogram and error
+// counter per request type, so the dispatch path never takes the
+// registry lock. All handles are nil (no-op) on a nil registry.
+type opMetrics struct {
+	seconds map[proto.Type]*telemetry.Histogram
+	errors  map[proto.Type]*telemetry.Counter
+}
+
+func newOpMetrics(reg *telemetry.Registry, prefix string, types []proto.Type) opMetrics {
+	m := opMetrics{
+		seconds: make(map[proto.Type]*telemetry.Histogram, len(types)),
+		errors:  make(map[proto.Type]*telemetry.Counter, len(types)),
+	}
+	for _, t := range types {
+		name := prefix + ".op." + opName(t)
+		m.seconds[t] = reg.Histogram(name+".seconds", nil)
+		m.errors[t] = reg.Counter(name + ".errors")
+	}
+	return m
+}
+
+// observe records one handled request. Unknown types (the "unexpected
+// message type" error path) are simply not recorded.
+func (m opMetrics) observe(t proto.Type, d time.Duration, err error) {
+	m.seconds[t].Observe(d.Seconds())
+	if err != nil {
+		m.errors[t].Inc()
+	}
+}
+
+// transitionObserver returns a disk.Observer that counts spin-ups and
+// spin-downs and tracks how many disks are currently spinning. Returns
+// nil (no observer installed) on a nil registry.
+func transitionObserver(reg *telemetry.Registry, prefix string) disk.Observer {
+	if reg == nil {
+		return nil
+	}
+	spinUps := reg.Counter(prefix + ".disk.spinups")
+	spinDowns := reg.Counter(prefix + ".disk.spindowns")
+	standby := reg.Gauge(prefix + ".disks.standby")
+	return func(now simtime.Time, from, to disk.PowerState) {
+		switch to {
+		case disk.SpinningUp:
+			spinUps.Inc()
+		case disk.SpinningDown:
+			spinDowns.Inc()
+		case disk.Standby:
+			standby.Add(1)
+		}
+		if from == disk.Standby {
+			standby.Add(-1)
+		}
+	}
+}

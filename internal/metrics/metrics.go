@@ -29,6 +29,14 @@ func (s *Sampler) Add(v float64) {
 // N returns the number of observations.
 func (s *Sampler) N() int { return len(s.samples) }
 
+// Reset discards all accumulated observations, keeping the backing
+// storage for reuse (windowed reporting: summarize, reset, keep going).
+func (s *Sampler) Reset() {
+	s.samples = s.samples[:0]
+	s.sum = 0
+	s.sorted = false
+}
+
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (s *Sampler) Mean() float64 {
 	if len(s.samples) == 0 {
@@ -108,8 +116,8 @@ func (s *Sampler) Summarize() Summary {
 
 // String renders the summary compactly for logs and tables.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs max=%.4gs",
-		s.N, s.Mean, s.P50, s.P95, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%.4gs stddev=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs max=%.4gs",
+		s.N, s.Mean, s.StdDev, s.P50, s.P95, s.P99, s.Max)
 }
 
 // PercentChange returns 100*(with-without)/without — the paper's

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -85,6 +86,40 @@ func TestSingleSampleStdDevZero(t *testing.T) {
 	s.Add(42)
 	if got := s.Summarize().StdDev; got != 0 {
 		t.Fatalf("StdDev of one sample = %g", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Sampler
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.Quantile(0.5) != 2 {
+		t.Fatal("setup median wrong")
+	}
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not clear the sampler")
+	}
+	if got := s.Summarize(); got != (Summary{}) {
+		t.Fatalf("Summarize after Reset = %+v", got)
+	}
+	// The sampler must be fully reusable: fresh observations only.
+	s.Add(10)
+	s.Add(20)
+	sum := s.Summarize()
+	if sum.N != 2 || sum.Mean != 15 || sum.Min != 10 || sum.Max != 20 {
+		t.Fatalf("Summary after Reset+Add = %+v", sum)
+	}
+}
+
+func TestStringIncludesStdDev(t *testing.T) {
+	s := Summary{N: 3, Mean: 1.5, StdDev: 0.25, P50: 1.4, P95: 2, P99: 2.1, Max: 2.2}
+	got := s.String()
+	for _, want := range []string{"n=3", "mean=1.5s", "stddev=0.25s", "p50=1.4s", "max=2.2s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
 	}
 }
 

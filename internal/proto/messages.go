@@ -24,6 +24,20 @@ const (
 	CodeUnavailable
 )
 
+// String names the code for logs and telemetry counter suffixes.
+func (c Code) String() string {
+	switch c {
+	case CodeGeneric:
+		return "generic"
+	case CodeNotFound:
+		return "not-found"
+	case CodeUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("code-%d", uint32(c))
+	}
+}
+
 // ErrorMsg is sent in place of any response when a request fails. The
 // code rides after the message so frames from pre-code peers (string
 // only) still decode.
@@ -229,10 +243,18 @@ func decodeDiskStats(d *Decoder) DiskStats {
 	}
 }
 
+// CounterStat is one named telemetry counter in a stats snapshot.
+type CounterStat struct {
+	Name  string
+	Value int64
+}
+
 // StatsResp aggregates disk stats (from a node: its own disks; from the
-// server: all nodes' disks).
+// server: all nodes' disks) plus a counter snapshot (buffer hit/miss
+// accounting and, when the peer runs a telemetry registry, its counters).
 type StatsResp struct {
-	Disks []DiskStats
+	Disks    []DiskStats
+	Counters []CounterStat
 }
 
 // Encode serializes the message body.
@@ -242,10 +264,15 @@ func (m StatsResp) Encode() []byte {
 	for _, ds := range m.Disks {
 		ds.encode(&e)
 	}
+	e.U32(uint32(len(m.Counters)))
+	for _, c := range m.Counters {
+		e.Str(c.Name).I64(c.Value)
+	}
 	return e.Bytes()
 }
 
-// DecodeStatsResp parses a StatsResp payload.
+// DecodeStatsResp parses a StatsResp payload. A payload ending after the
+// disk section (a pre-counter peer) decodes with no counters.
 func DecodeStatsResp(b []byte) (StatsResp, error) {
 	d := NewDecoder(b)
 	n := d.U32()
@@ -255,6 +282,19 @@ func DecodeStatsResp(b []byte) (StatsResp, error) {
 	m := StatsResp{}
 	for i := uint32(0); i < n; i++ {
 		m.Disks = append(m.Disks, decodeDiskStats(d))
+		if d.Err() != nil {
+			return StatsResp{}, d.Err()
+		}
+	}
+	if d.Remaining() == 0 {
+		return m, d.Err()
+	}
+	cn := d.U32()
+	if d.Err() != nil {
+		return StatsResp{}, d.Err()
+	}
+	for i := uint32(0); i < cn; i++ {
+		m.Counters = append(m.Counters, CounterStat{Name: d.Str(), Value: d.I64()})
 		if d.Err() != nil {
 			return StatsResp{}, d.Err()
 		}

@@ -1,0 +1,93 @@
+package proto
+
+import (
+	"testing"
+	"time"
+
+	"eevfs/internal/telemetry"
+)
+
+// TestEndpointTelemetry drives one endpoint through a success, a retried
+// dial failure, and a remote error, and checks the registry saw each.
+func TestEndpointTelemetry(t *testing.T) {
+	addr := frameServer(t, func(ty Type, payload []byte) (Type, []byte, bool) {
+		if ty == TError { // abused as a "please fail" request marker
+			return TError, ErrorMsg{Msg: "boom", Code: CodeNotFound}.Encode(), true
+		}
+		return ty, payload, true
+	})
+
+	reg := telemetry.NewRegistry()
+	d := &countingDialer{fail: 1}
+	ep := NewEndpoint(addr, d, TransportConfig{
+		Retries:   2,
+		RetryBase: time.Millisecond,
+		RetryMax:  2 * time.Millisecond,
+		Metrics:   reg,
+	})
+	defer ep.Close()
+
+	// First call: the injected dial failure burns attempt 1, the retry
+	// succeeds.
+	if _, _, err := ep.Call(TListReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Second call: a remote application error.
+	if _, _, err := ep.Call(TError, nil); err == nil {
+		t.Fatal("expected remote error")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["proto.rt.calls"]; got != 2 {
+		t.Errorf("calls = %d, want 2", got)
+	}
+	if got := snap.Counters["proto.rt.retries"]; got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := snap.Counters["proto.rt.errors.remote"]; got != 1 {
+		t.Errorf("remote errors = %d, want 1", got)
+	}
+	if got := snap.Counters["proto.rt.errors.remote.not-found"]; got != 1 {
+		t.Errorf("remote not-found errors = %d, want 1", got)
+	}
+	if got := snap.Histograms["proto.rt.seconds"].Count; got != 2 {
+		t.Errorf("latency observations = %d, want 2", got)
+	}
+}
+
+// TestEndpointTelemetryTransportFailure checks the transport-error and
+// timeout counters on an endpoint whose every dial fails.
+func TestEndpointTelemetryTransportFailure(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	d := &countingDialer{fail: 100}
+	ep := NewEndpoint("127.0.0.1:1", d, TransportConfig{
+		Retries:   1,
+		RetryBase: time.Millisecond,
+		RetryMax:  2 * time.Millisecond,
+		Metrics:   reg,
+	})
+	defer ep.Close()
+	if _, _, err := ep.Call(TListReq, nil); err == nil {
+		t.Fatal("expected transport error")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["proto.rt.errors.transport"]; got != 1 {
+		t.Errorf("transport errors = %d, want 1", got)
+	}
+	if got := snap.Counters["proto.rt.retries"]; got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}
+
+// TestEndpointNoMetrics pins the no-op mode: calls on an uninstrumented
+// endpoint work and nothing panics.
+func TestEndpointNoMetrics(t *testing.T) {
+	addr := frameServer(t, func(ty Type, payload []byte) (Type, []byte, bool) {
+		return ty, payload, true
+	})
+	ep := NewEndpoint(addr, nil, TransportConfig{})
+	defer ep.Close()
+	if _, _, err := ep.Call(TListReq, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"eevfs/internal/telemetry"
 )
 
 // Dialer opens transport connections. The production implementation is
@@ -59,6 +61,11 @@ type TransportConfig struct {
 	// Seed seeds the backoff jitter (0 = a fixed default), keeping retry
 	// schedules reproducible in tests.
 	Seed int64
+	// Metrics, when set, receives per-round-trip telemetry: the
+	// proto.rt.seconds latency histogram plus calls / retries / timeouts
+	// / error-class counters, aggregated across every endpoint sharing
+	// the registry. Nil disables instrumentation at no cost.
+	Metrics *telemetry.Registry
 }
 
 func (c TransportConfig) withDefaults() TransportConfig {
@@ -109,6 +116,31 @@ func (e *TransportError) Timeout() bool {
 	return errors.As(e.Err, &ne) && ne.Timeout()
 }
 
+// epMetrics holds an endpoint's pre-resolved metric handles, so the
+// round-trip hot path never touches the registry's lock. All fields are
+// nil (no-op) when TransportConfig.Metrics is unset.
+type epMetrics struct {
+	reg         *telemetry.Registry
+	calls       *telemetry.Counter
+	retries     *telemetry.Counter
+	timeouts    *telemetry.Counter
+	transportEs *telemetry.Counter
+	remoteEs    *telemetry.Counter
+	latency     *telemetry.Histogram
+}
+
+func newEpMetrics(reg *telemetry.Registry) epMetrics {
+	return epMetrics{
+		reg:         reg,
+		calls:       reg.Counter("proto.rt.calls"),
+		retries:     reg.Counter("proto.rt.retries"),
+		timeouts:    reg.Counter("proto.rt.timeouts"),
+		transportEs: reg.Counter("proto.rt.errors.transport"),
+		remoteEs:    reg.Counter("proto.rt.errors.remote"),
+		latency:     reg.Histogram("proto.rt.seconds", nil),
+	}
+}
+
 // Endpoint is one peer's persistent connection plus the retry policy
 // around it. It serializes round trips (the paper's single connection per
 // storage node carries one request at a time) and is safe for concurrent
@@ -117,6 +149,7 @@ type Endpoint struct {
 	addr string
 	dial Dialer
 	cfg  TransportConfig
+	met  epMetrics
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -135,6 +168,7 @@ func NewEndpoint(addr string, d Dialer, cfg TransportConfig) *Endpoint {
 		addr: addr,
 		dial: d,
 		cfg:  cfg,
+		met:  newEpMetrics(cfg.Metrics),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -197,12 +231,15 @@ func (e *Endpoint) backoffLocked(attempt int) time.Duration {
 // connection before the next attempt — a dead stream must never leak
 // into a later round trip.
 func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
+	e.met.calls.Inc()
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var last error
 	attempts := 0
 	for attempt := 0; attempt <= e.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			e.met.retries.Inc()
 			d := e.backoffLocked(attempt)
 			e.mu.Unlock() // don't hold the endpoint through the backoff sleep
 			time.Sleep(d)
@@ -211,6 +248,7 @@ func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 		attempts++
 		if err := e.ensureConnLocked(); err != nil {
 			if errors.Is(err, net.ErrClosed) {
+				e.met.transportEs.Inc()
 				return 0, nil, &TransportError{Addr: e.addr, Attempts: attempts, Err: err}
 			}
 			last = err
@@ -220,16 +258,28 @@ func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 		rt, rp, err := RoundTrip(e.conn, t, payload)
 		if err == nil {
 			e.conn.SetDeadline(time.Time{})
+			e.met.latency.Observe(time.Since(start).Seconds())
 			return rt, rp, nil
 		}
 		var re *RemoteError
 		if errors.As(err, &re) {
 			e.conn.SetDeadline(time.Time{})
+			// The peer answered; the round trip itself succeeded, so it
+			// counts toward latency, and the failure is classified by
+			// its wire code (cold path: registry lookup is fine here).
+			e.met.latency.Observe(time.Since(start).Seconds())
+			e.met.remoteEs.Inc()
+			e.met.reg.Counter("proto.rt.errors.remote." + re.Code.String()).Inc()
 			return 0, nil, err
 		}
 		e.conn.Close()
 		e.conn = nil
 		last = err
 	}
-	return 0, nil, &TransportError{Addr: e.addr, Attempts: attempts, Err: last}
+	terr := &TransportError{Addr: e.addr, Attempts: attempts, Err: last}
+	e.met.transportEs.Inc()
+	if terr.Timeout() {
+		e.met.timeouts.Inc()
+	}
+	return 0, nil, terr
 }

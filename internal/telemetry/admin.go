@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin is the live-introspection HTTP listener the daemons expose behind
+// their -admin-addr flag:
+//
+//	GET /metrics        expvar-style JSON snapshot of the registry
+//	GET /healthz        the daemon's own health payload (JSON)
+//	GET /debug/pprof/*  the standard runtime profiles
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr and serves the admin endpoints. health (optional)
+// supplies the /healthz payload; it must be JSON-marshalable.
+func StartAdmin(addr string, reg *Registry, health func() any) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		payload := any(map[string]string{"status": "ok"})
+		if health != nil {
+			payload = health()
+		}
+		json.NewEncoder(w).Encode(payload)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: turns a Journal into the JSON object format
+// understood by Perfetto (ui.perfetto.dev) and chrome://tracing, so a
+// simulated run's per-disk power-state timeline and queue waits can be
+// inspected visually — the paper's Fig. 4 transition counts as an actual
+// timeline.
+//
+// Mapping:
+//   - KindState events become one "X" (complete) slice per dwell on the
+//     disk's own track, named after the state ("idle", "standby", ...).
+//   - KindService events become "X" slices on the same disk track,
+//     nested under the "active" dwell, with queue wait in args.
+//   - KindRequest events become async "b"/"e" pairs on a shared
+//     "requests" track, so overlapping requests stay legible.
+//
+// Timestamps are microseconds as the format requires.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    int            `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// WriteChromeTrace renders the events as a Chrome trace. endS closes the
+// final state dwell of every subject (pass the run's makespan).
+func WriteChromeTrace(w io.Writer, events []Event, endS float64) error {
+	// Assign each state/service subject (disk) a stable track id in
+	// first-appearance order, then name the tracks via metadata events.
+	tids := map[string]int{}
+	order := []string{}
+	for _, e := range events {
+		if e.Kind != KindState && e.Kind != KindService {
+			continue
+		}
+		if _, ok := tids[e.Subject]; !ok {
+			tids[e.Subject] = len(order) + 1 // tid 0 is the requests track
+			order = append(order, e.Subject)
+		}
+	}
+
+	var out []chromeEvent
+	meta := func(tid int, name string) {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(0, "requests")
+	for _, s := range order {
+		meta(tids[s], s)
+	}
+
+	// Reconstruct state dwells: each state event closes the previous
+	// dwell on its subject's track.
+	type dwell struct {
+		state string
+		since float64
+	}
+	open := map[string]*dwell{}
+	reqID := 0
+	for _, e := range events {
+		switch e.Kind {
+		case KindState:
+			if d, ok := open[e.Subject]; ok && e.TimeS > d.since {
+				out = append(out, chromeEvent{
+					Name: d.state, Cat: "power", Phase: "X",
+					TsUs: d.since * usPerSec, DurUs: (e.TimeS - d.since) * usPerSec,
+					Pid: 1, Tid: tids[e.Subject],
+				})
+			}
+			open[e.Subject] = &dwell{state: e.Detail, since: e.TimeS}
+
+		case KindService:
+			ev := chromeEvent{
+				Name: e.Detail, Cat: "service", Phase: "X",
+				TsUs: e.TimeS * usPerSec, DurUs: e.DurS * usPerSec,
+				Pid: 1, Tid: tids[e.Subject],
+			}
+			if e.WaitS > 0 {
+				ev.Args = map[string]any{"queue_wait_s": e.WaitS}
+			}
+			out = append(out, ev)
+
+		case KindRequest:
+			reqID++
+			name := fmt.Sprintf("%s %s", e.Detail, e.Subject)
+			out = append(out, chromeEvent{
+				Name: name, Cat: "request", Phase: "b",
+				TsUs: e.TimeS * usPerSec, Pid: 1, Tid: 0, ID: reqID,
+			}, chromeEvent{
+				Name: name, Cat: "request", Phase: "e",
+				TsUs: (e.TimeS + e.DurS) * usPerSec, Pid: 1, Tid: 0, ID: reqID,
+			})
+		}
+	}
+
+	// Close the final dwell of every subject at endS, in a deterministic
+	// order.
+	subjects := make([]string, 0, len(open))
+	for s := range open {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		d := open[s]
+		if endS > d.since {
+			out = append(out, chromeEvent{
+				Name: d.state, Cat: "power", Phase: "X",
+				TsUs: d.since * usPerSec, DurUs: (endS - d.since) * usPerSec,
+				Pid: 1, Tid: tids[s],
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
