@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench
+.PHONY: build test race vet fuzz verify bench bench-parallel cover
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,29 @@ fuzz:
 
 # Snapshot every benchmark once (test2json stream) so perf regressions
 # can be diffed against a committed baseline.
-bench:
+bench: bench-parallel
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_baseline.json
+
+# The parallel-engine comparison (ISSUE 3 acceptance): sweep wall-clock
+# sequential vs pooled, server ops/sec under concurrent clients, and the
+# metadata/access-log microbenchmarks. Speedups require real cores —
+# record GOMAXPROCS alongside the numbers.
+bench-parallel:
+	$(GO) test -run '^$$' \
+		-bench 'Sweep|RunMany|ServerLookup|ServerStats|Sharded|ServerMap|AtomicLog|AccessLog' \
+		-benchtime 3x -json \
+		./internal/experiments ./internal/fs ./internal/metadata ./internal/trace \
+		> BENCH_parallel.json
+
+# Coverage with a ratchet: the total must never drop below the committed
+# COVERAGE_BASELINE. Raise the baseline when coverage durably improves.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
+	base=$$(cat COVERAGE_BASELINE); \
+	echo "total coverage: $$total% (baseline $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { exit (t + 1e-9 < b) ? 1 : 0 }' || \
+		{ echo "coverage ratchet FAILED: $$total% < baseline $$base%"; exit 1; }
 
 # The full pre-merge gate: vet + build + the whole suite under the race
 # detector (the chaos tests in internal/fs exercise real concurrency).

@@ -121,6 +121,7 @@ func main() {
 		plot     = flag.Bool("plot", false, "render the figures as ASCII bar charts")
 		requests = flag.Int("requests", 0, "override trace length (default 1000)")
 		seed     = flag.Uint64("seed", 0, "override workload seed (default 1)")
+		parallel = flag.Int("parallel", 0, "simulation workers: 0 sequential, -1 GOMAXPROCS, n>1 a fixed pool (results are byte-identical)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		traceIn  = flag.String("trace", "", "run PF vs NPF on a trace file (eevfs-trace/1 format) and exit")
 		chromeO  = flag.String("chrome-trace", "", "simulate one PF run and write its timeline as Chrome trace-event JSON to this file")
@@ -157,7 +158,7 @@ func main() {
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	}
-	opts := experiments.Options{Requests: *requests, Seed: *seed}
+	opts := experiments.Options{Requests: *requests, Seed: *seed, Workers: *parallel}
 
 	if *plot {
 		for _, id := range ids {
@@ -176,13 +177,15 @@ func main() {
 		return
 	}
 
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		t, err := experiments.Run(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
-			os.Exit(1)
-		}
+	// RunMany fans the experiments over opts.Workers (sequentially for
+	// the default Workers=0) and returns the tables in id order, so the
+	// printed output is identical regardless of -parallel.
+	tables, err := experiments.RunMany(ids, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	for i, t := range tables {
 		var renderErr error
 		if *markdown {
 			renderErr = t.Markdown(os.Stdout)
@@ -191,7 +194,7 @@ func main() {
 			fmt.Println()
 		}
 		if renderErr != nil {
-			fmt.Fprintf(os.Stderr, "eevfsbench: rendering %s: %v\n", id, renderErr)
+			fmt.Fprintf(os.Stderr, "eevfsbench: rendering %s: %v\n", strings.TrimSpace(ids[i]), renderErr)
 			os.Exit(1)
 		}
 	}

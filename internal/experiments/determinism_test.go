@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"eevfs/internal/telemetry"
+	"eevfs/internal/workload"
+)
+
+// The parallel engine's contract (ISSUE 3): fanning simulations over a
+// worker pool must be invisible in the results. These tests run every
+// registered experiment and every sweep both ways and require deep
+// equality — under -race they also prove the fan-out itself is clean.
+
+func TestParallelByteIdenticalAllExperiments(t *testing.T) {
+	seq := Options{Requests: 120}
+	par := Options{Requests: 120, Workers: 4}
+	for _, id := range IDs() {
+		a, err := Run(id, seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		b, err := Run(id, par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: parallel table differs from sequential\nseq: %+v\npar: %+v", id, a, b)
+		}
+	}
+}
+
+func TestParallelByteIdenticalSweeps(t *testing.T) {
+	sweeps := []struct {
+		name string
+		fn   func(Options) (Sweep, error)
+	}{
+		{"data-size", DataSizeSweep},
+		{"mu", MUSweep},
+		{"delay", DelaySweep},
+		{"prefetch-count", PrefetchCountSweep},
+		{"berkeley-web", BerkeleyWebSweep},
+		{"disks-per-node", DisksPerNodeSweep},
+	}
+	for _, sw := range sweeps {
+		a, err := sw.fn(Options{Requests: 150})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", sw.name, err)
+		}
+		b, err := sw.fn(Options{Requests: 150, Workers: -1})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", sw.name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: parallel sweep differs from sequential", sw.name)
+		}
+	}
+}
+
+// TestParallelJournalsIdentical attaches an event journal to every job
+// and requires the full event timelines — not just the Result summaries
+// — to match between the sequential and the pooled run.
+func TestParallelJournalsIdentical(t *testing.T) {
+	build := func() ([]pointJob, []*telemetry.Journal) {
+		var jobs []pointJob
+		var journals []*telemetry.Journal
+		for _, mu := range []float64{10, 1000} {
+			w := Options{Requests: 100}.synthetic()
+			w.MU = mu
+			tr, err := workload.Synthetic(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Options{}.testbed()
+			j := &telemetry.Journal{}
+			cfg.Journal = j
+			jobs = append(jobs, pointJob{
+				Label: fmt.Sprintf("mu=%.0f", mu), Value: mu, Cfg: cfg, Trace: tr,
+			})
+			journals = append(journals, j)
+		}
+		return jobs, journals
+	}
+
+	jobsSeq, jSeq := build()
+	ptsSeq, err := runPoints(Options{}, jobsSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsPar, jPar := build()
+	ptsPar, err := runPoints(Options{Workers: 4}, jobsPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(ptsSeq, ptsPar) {
+		t.Error("parallel Points differ from sequential")
+	}
+	for i := range jSeq {
+		if jSeq[i].Len() == 0 {
+			t.Fatalf("job %d: empty journal (instrumentation lost?)", i)
+		}
+		if !reflect.DeepEqual(jSeq[i].Events(), jPar[i].Events()) {
+			t.Errorf("job %d: parallel journal differs from sequential", i)
+		}
+	}
+}
+
+// TestRunManyMatchesRunLoop pins RunMany's ordered collection: the table
+// slice must equal a plain sequential Run loop, id for id.
+func TestRunManyMatchesRunLoop(t *testing.T) {
+	ids := []string{"fig3b", "tableII", "ext-hints", "fig6"}
+	o := Options{Requests: 100}
+	want := make([]Table, len(ids))
+	for i, id := range ids {
+		var err error
+		want[i], err = Run(id, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	par := o
+	par.Workers = 3
+	got, err := RunMany(ids, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("RunMany tables differ from sequential Run loop")
+	}
+}
+
+// TestRunnerProgressTelemetry checks the worker pool reports its
+// progress: total and done counters must land at the job count.
+func TestRunnerProgressTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	o := Options{Requests: 100, Workers: 2, Metrics: reg}
+	if _, err := MUSweep(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("experiments.points.total").Value(); got != 4 {
+		t.Errorf("points.total = %d, want 4", got)
+	}
+	if got := reg.Counter("experiments.points.done").Value(); got != 4 {
+		t.Errorf("points.done = %d, want 4", got)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := (Options{}).workers(); got != 1 {
+		t.Errorf("zero Workers resolved to %d, want 1", got)
+	}
+	if got := (Options{Workers: 6}).workers(); got != 6 {
+		t.Errorf("Workers=6 resolved to %d", got)
+	}
+	if got := (Options{Workers: -1}).workers(); got < 1 {
+		t.Errorf("negative Workers resolved to %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// Sweep wall-clock: sequential vs pooled. The ISSUE 3 acceptance gate
+// compares these two in BENCH_parallel.json (≥2x on ≥4 cores; on fewer
+// cores the pool degrades gracefully to near-sequential time).
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	o := Options{Requests: 600, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MUSweep(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 0) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, -1) }
+
+func benchRunMany(b *testing.B, workers int) {
+	b.Helper()
+	ids := []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig6", "ext-disks"}
+	o := Options{Requests: 400, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(ids, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunManySequential(b *testing.B) { benchRunMany(b, 0) }
+func BenchmarkRunManyParallel(b *testing.B)   { benchRunMany(b, -1) }

@@ -6,6 +6,7 @@ import (
 
 	"eevfs/internal/cluster"
 	"eevfs/internal/disk"
+	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
 	"eevfs/internal/workload"
 )
@@ -20,6 +21,13 @@ type Options struct {
 	// Testbed overrides the cluster shape; nil fields fall back to
 	// cluster.DefaultTestbed().
 	Testbed *cluster.Config
+	// Workers sets the simulation concurrency: 0 or 1 runs sequentially,
+	// n > 1 fans cluster.Run invocations over n workers, negative means
+	// GOMAXPROCS. Results are byte-identical either way (see parallel.go).
+	Workers int
+	// Metrics, when set, receives runner progress telemetry
+	// (experiments.points.* and experiments.runs.* counters).
+	Metrics *telemetry.Registry
 }
 
 func (o Options) requests() int {
@@ -36,11 +44,16 @@ func (o Options) seed() uint64 {
 	return 1
 }
 
+// testbed returns a config with its own Nodes backing array: sweep jobs
+// mutate per-node fields after building their config, and parallel jobs
+// must never alias each other's (or the caller's) node slice.
 func (o Options) testbed() cluster.Config {
+	cfg := cluster.DefaultTestbed()
 	if o.Testbed != nil {
-		return *o.Testbed
+		cfg = *o.Testbed
+		cfg.Nodes = append([]cluster.NodeConfig(nil), cfg.Nodes...)
 	}
-	return cluster.DefaultTestbed()
+	return cfg
 }
 
 func (o Options) synthetic() workload.SyntheticConfig {
@@ -81,7 +94,7 @@ func runPoint(label string, value float64, cfg cluster.Config, tr *trace.Trace) 
 // DataSizeSweep is the Figs. 3(a)/4(a)/5(a) axis: mean data size in
 // {1, 10, 25, 50} MB with MU=1000, K=70, 700 ms inter-arrival.
 func DataSizeSweep(o Options) (Sweep, error) {
-	s := Sweep{Name: "data-size", Param: "size"}
+	var jobs []pointJob
 	for _, mb := range []int{1, 10, 25, 50} {
 		w := o.synthetic()
 		w.MeanSize = int64(mb) * 1e6
@@ -89,19 +102,22 @@ func DataSizeSweep(o Options) (Sweep, error) {
 		if err != nil {
 			return Sweep{}, err
 		}
-		p, err := runPoint(fmt.Sprintf("%dMB", mb), float64(mb), o.testbed(), tr)
-		if err != nil {
-			return Sweep{}, err
-		}
-		s.Points = append(s.Points, p)
+		jobs = append(jobs, pointJob{
+			Label: fmt.Sprintf("%dMB", mb), Value: float64(mb),
+			Cfg: o.testbed(), Trace: tr,
+		})
 	}
-	return s, nil
+	pts, err := runPoints(o, jobs)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Name: "data-size", Param: "size", Points: pts}, nil
 }
 
 // MUSweep is the Figs. 3(b)/4(b)/5(b) axis: MU in {1, 10, 100, 1000} with
 // 10 MB files, K=70, 700 ms inter-arrival.
 func MUSweep(o Options) (Sweep, error) {
-	s := Sweep{Name: "mu", Param: "MU"}
+	var jobs []pointJob
 	for _, mu := range []float64{1, 10, 100, 1000} {
 		w := o.synthetic()
 		w.MU = mu
@@ -109,19 +125,22 @@ func MUSweep(o Options) (Sweep, error) {
 		if err != nil {
 			return Sweep{}, err
 		}
-		p, err := runPoint(fmt.Sprintf("%.0f", mu), mu, o.testbed(), tr)
-		if err != nil {
-			return Sweep{}, err
-		}
-		s.Points = append(s.Points, p)
+		jobs = append(jobs, pointJob{
+			Label: fmt.Sprintf("%.0f", mu), Value: mu,
+			Cfg: o.testbed(), Trace: tr,
+		})
 	}
-	return s, nil
+	pts, err := runPoints(o, jobs)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Name: "mu", Param: "MU", Points: pts}, nil
 }
 
 // DelaySweep is the Figs. 3(c)/4(c)/5(c) axis: inter-arrival delay in
 // {0, 350, 700, 1000} ms with 10 MB files, MU=1000, K=70.
 func DelaySweep(o Options) (Sweep, error) {
-	s := Sweep{Name: "delay", Param: "delay"}
+	var jobs []pointJob
 	for _, ms := range []float64{0, 350, 700, 1000} {
 		w := o.synthetic()
 		w.InterArrival = ms / 1000
@@ -129,33 +148,38 @@ func DelaySweep(o Options) (Sweep, error) {
 		if err != nil {
 			return Sweep{}, err
 		}
-		p, err := runPoint(fmt.Sprintf("%.0fms", ms), ms, o.testbed(), tr)
-		if err != nil {
-			return Sweep{}, err
-		}
-		s.Points = append(s.Points, p)
+		jobs = append(jobs, pointJob{
+			Label: fmt.Sprintf("%.0fms", ms), Value: ms,
+			Cfg: o.testbed(), Trace: tr,
+		})
 	}
-	return s, nil
+	pts, err := runPoints(o, jobs)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Name: "delay", Param: "delay", Points: pts}, nil
 }
 
 // PrefetchCountSweep is the Figs. 3(d)/4(d)/5(d) axis: K in
 // {10, 40, 70, 100} with 10 MB files, MU=1000, 700 ms inter-arrival.
 func PrefetchCountSweep(o Options) (Sweep, error) {
-	s := Sweep{Name: "prefetch-count", Param: "K"}
 	tr, err := workload.Synthetic(o.synthetic())
 	if err != nil {
 		return Sweep{}, err
 	}
+	var jobs []pointJob
 	for _, k := range []int{10, 40, 70, 100} {
 		cfg := o.testbed()
 		cfg.PrefetchCount = k
-		p, err := runPoint(fmt.Sprintf("%d", k), float64(k), cfg, tr)
-		if err != nil {
-			return Sweep{}, err
-		}
-		s.Points = append(s.Points, p)
+		jobs = append(jobs, pointJob{
+			Label: fmt.Sprintf("%d", k), Value: float64(k), Cfg: cfg, Trace: tr,
+		})
 	}
-	return s, nil
+	pts, err := runPoints(o, jobs)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Name: "prefetch-count", Param: "K", Points: pts}, nil
 }
 
 // BerkeleyWebSweep is the Fig. 6 experiment: the web-trace-equivalent
@@ -168,36 +192,38 @@ func BerkeleyWebSweep(o Options) (Sweep, error) {
 	if err != nil {
 		return Sweep{}, err
 	}
-	p, err := runPoint("web", 0, o.testbed(), tr)
+	pts, err := runPoints(o, []pointJob{{Label: "web", Cfg: o.testbed(), Trace: tr}})
 	if err != nil {
 		return Sweep{}, err
 	}
-	return Sweep{Name: "berkeley-web", Param: "trace", Points: []Point{p}}, nil
+	return Sweep{Name: "berkeley-web", Param: "trace", Points: pts}, nil
 }
 
 // DisksPerNodeSweep is extension X1 (the paper's Section VII claim that
 // savings grow as more data disks are added per storage node): data disks
 // per node in {1, 2, 4, 8} on the fully-covered MU=100 workload.
 func DisksPerNodeSweep(o Options) (Sweep, error) {
-	s := Sweep{Name: "disks-per-node", Param: "data disks"}
 	w := o.synthetic()
 	w.MU = 100
 	tr, err := workload.Synthetic(w)
 	if err != nil {
 		return Sweep{}, err
 	}
+	var jobs []pointJob
 	for _, nd := range []int{1, 2, 4, 8} {
-		cfg := o.testbed()
+		cfg := o.testbed() // own Nodes array per job: see Options.testbed
 		for i := range cfg.Nodes {
 			cfg.Nodes[i].DataDisks = nd
 		}
-		p, err := runPoint(fmt.Sprintf("%d", nd), float64(nd), cfg, tr)
-		if err != nil {
-			return Sweep{}, err
-		}
-		s.Points = append(s.Points, p)
+		jobs = append(jobs, pointJob{
+			Label: fmt.Sprintf("%d", nd), Value: float64(nd), Cfg: cfg, Trace: tr,
+		})
 	}
-	return s, nil
+	pts, err := runPoints(o, jobs)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Name: "disks-per-node", Param: "data disks", Points: pts}, nil
 }
 
 // EnergyTable renders the sweep as a Fig. 3-style energy table.

@@ -67,6 +67,19 @@ func (n *Node) saveManifest() {
 	}
 }
 
+// decodeNodeManifest parses and version-checks a node manifest. Split
+// from loadManifest so the decode path is directly fuzzable.
+func decodeNodeManifest(raw []byte) (nodeManifest, error) {
+	var m nodeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nodeManifest{}, err
+	}
+	if m.Version != manifestVersion {
+		return nodeManifest{}, fmt.Errorf("fs: manifest version %d unsupported", m.Version)
+	}
+	return m, nil
+}
+
 // loadManifest restores metadata from a previous run; a missing manifest
 // means a fresh node.
 func (n *Node) loadManifest() error {
@@ -77,12 +90,9 @@ func (n *Node) loadManifest() error {
 	if err != nil {
 		return fmt.Errorf("fs: reading manifest: %w", err)
 	}
-	var m nodeManifest
-	if err := json.Unmarshal(raw, &m); err != nil {
+	m, err := decodeNodeManifest(raw)
+	if err != nil {
 		return fmt.Errorf("fs: corrupt manifest %s: %w", n.manifestPath(), err)
-	}
-	if m.Version != manifestVersion {
-		return fmt.Errorf("fs: manifest version %d unsupported", m.Version)
 	}
 	for _, f := range m.Files {
 		if f.Disk >= n.cfg.DataDisks {
@@ -119,15 +129,23 @@ type serverFileEntry struct {
 }
 
 // saveState snapshots the server metadata to cfg.StateFile (no-op when
-// persistence is not configured). Callers must not hold s.mu.
+// persistence is not configured). The snapshot walks the sharded map one
+// stripe at a time — no global lock exists to freeze the whole namespace,
+// so concurrent mutations may or may not appear; each stripe is
+// internally consistent and the final mutation of any burst triggers its
+// own save. saveMu serializes writers so snapshots cannot interleave on
+// the temp file.
 func (s *Server) saveState() {
 	if s.cfg.StateFile == "" {
 		return
 	}
-	s.mu.Lock()
-	st := serverState{Version: manifestVersion, NextID: s.nextID, NextNode: s.nextNode}
-	s.mu.Unlock()
-
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	st := serverState{
+		Version:  manifestVersion,
+		NextID:   s.nextID.Load(),
+		NextNode: int(s.nextNode.Load()),
+	}
 	for _, name := range s.meta.Names() {
 		if fi, ok := s.meta.LookupName(name); ok {
 			st.Files = append(st.Files, serverFileEntry{
@@ -138,6 +156,19 @@ func (s *Server) saveState() {
 	if err := writeJSONAtomic(s.cfg.StateFile, st); err != nil {
 		s.logger.Printf("state save failed: %v", err)
 	}
+}
+
+// decodeServerState parses and version-checks a server state file. Split
+// from loadState so the decode path is directly fuzzable.
+func decodeServerState(raw []byte) (serverState, error) {
+	var st serverState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return serverState{}, err
+	}
+	if st.Version != manifestVersion {
+		return serverState{}, fmt.Errorf("fs: server state version %d unsupported", st.Version)
+	}
+	return st, nil
 }
 
 // loadState restores server metadata; a missing file means a fresh server.
@@ -152,14 +183,10 @@ func (s *Server) loadState() error {
 	if err != nil {
 		return fmt.Errorf("fs: reading server state: %w", err)
 	}
-	var st serverState
-	if err := json.Unmarshal(raw, &st); err != nil {
+	st, err := decodeServerState(raw)
+	if err != nil {
 		return fmt.Errorf("fs: corrupt server state %s: %w", s.cfg.StateFile, err)
 	}
-	if st.Version != manifestVersion {
-		return fmt.Errorf("fs: server state version %d unsupported", st.Version)
-	}
-	maxSizeID := -1
 	for _, f := range st.Files {
 		if f.Node >= len(s.nodes) {
 			return fmt.Errorf("fs: state file %q on node %d, server has %d", f.Name, f.Node, len(s.nodes))
@@ -169,20 +196,14 @@ func (s *Server) loadState() error {
 		}); err != nil {
 			return err
 		}
-		if f.ID > maxSizeID {
-			maxSizeID = f.ID
-		}
 	}
-	s.mu.Lock()
-	s.nextID = st.NextID
-	s.nextNode = st.NextNode
-	s.sizes = make([]int64, s.nextID)
+	s.nextID.Store(st.NextID)
+	s.nextNode.Store(int64(st.NextNode))
 	for _, f := range st.Files {
-		if f.ID >= 0 && int64(f.ID) < s.nextID {
-			s.sizes[f.ID] = f.Size
+		if f.ID >= 0 && int64(f.ID) < st.NextID {
+			s.sizes.set(int64(f.ID), f.Size)
 		}
 	}
-	s.mu.Unlock()
 	return nil
 }
 

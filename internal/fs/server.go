@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eevfs/internal/metadata"
@@ -114,10 +115,18 @@ func (h *nodeHandle) note(err error, failThreshold int) int {
 }
 
 // Server is a running storage-server daemon.
+//
+// Concurrency model: there is no global server mutex. File metadata
+// lives in a striped map (metadata.Sharded), the popularity journal is a
+// lock-free append-only log (trace.AtomicLog), and the id/placement
+// cursors are atomics — so independent client operations on different
+// files never contend on a shared lock. The only mutexes left guard the
+// connection set (accept/close lifecycle), each node's health word, and
+// state-file snapshotting.
 type Server struct {
 	cfg    ServerConfig
 	ln     net.Listener
-	meta   *metadata.ServerMap
+	meta   *metadata.Sharded
 	nodes  []*nodeHandle
 	clock  *Clock
 	logger *log.Logger
@@ -129,16 +138,18 @@ type Server struct {
 	placements        []*telemetry.Counter
 	accessCtr         *telemetry.Counter
 
-	mu       sync.Mutex
-	accesses trace.AccessLog
-	nextID   int64
-	nextNode int
-	sizes    []int64 // per file id (dense)
-	closing  bool
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	probeWg  sync.WaitGroup
-	stop     chan struct{}
+	accesses trace.AtomicLog
+	sizes    sizeTable    // per file id (dense); slots survive deletes
+	nextID   atomic.Int64 // next file id
+	nextNode atomic.Int64 // placement round-robin cursor
+
+	connMu  sync.Mutex
+	closing bool
+	conns   map[net.Conn]struct{}
+	saveMu  sync.Mutex // serializes state-file snapshots
+	wg      sync.WaitGroup
+	probeWg sync.WaitGroup
+	stop    chan struct{}
 }
 
 // StartServer binds the listener and begins serving. Node daemons must be
@@ -156,7 +167,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		cfg:    cfg,
-		meta:   metadata.NewServerMap(),
+		meta:   metadata.NewSharded(),
 		clock:  NewClock(1),
 		logger: cfg.Logger,
 		conns:  make(map[net.Conn]struct{}),
@@ -207,9 +218,9 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the daemon and drains connections.
 func (s *Server) Close() error {
-	s.mu.Lock()
+	s.connMu.Lock()
 	if s.closing {
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		return nil
 	}
 	s.closing = true
@@ -217,7 +228,7 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	s.probeWg.Wait()
@@ -286,14 +297,14 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		s.mu.Lock()
+		s.connMu.Lock()
 		if s.closing {
-			s.mu.Unlock()
+			s.connMu.Unlock()
 			conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -302,9 +313,9 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		s.mu.Lock()
+		s.connMu.Lock()
 		delete(s.conns, conn)
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		conn.Close()
 	}()
 	dc := &deadlineConn{Conn: conn, writeTimeout: s.cfg.WriteTimeout}
@@ -393,11 +404,11 @@ func (s *Server) dispatchInner(conn net.Conn, t proto.Type, payload []byte) erro
 // pickNode chooses the next healthy node round-robin (creation order
 // embodies popularity order, Section IV-A; unhealthy nodes are skipped so
 // new files land only where they can be written — degraded-mode
-// placement). Callers hold s.mu.
-func (s *Server) pickNodeLocked() (int, error) {
+// placement). Lock-free: the cursor is an atomic, so concurrent creates
+// each claim a distinct slot.
+func (s *Server) pickNode() (int, error) {
 	for i := 0; i < len(s.nodes); i++ {
-		idx := s.nextNode % len(s.nodes)
-		s.nextNode++
+		idx := int((s.nextNode.Add(1) - 1) % int64(len(s.nodes)))
 		if s.nodes[idx].healthy() {
 			return idx, nil
 		}
@@ -407,7 +418,10 @@ func (s *Server) pickNodeLocked() (int, error) {
 }
 
 // handleCreate assigns the next healthy node, registers metadata, and
-// tells the node.
+// tells the node. The name is claimed atomically via PutIfAbsent before
+// the node RPC — of N racing creates of one name, exactly one wins and
+// the rest fail with "already exists"; a failed node RPC rolls the claim
+// back.
 func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 	if req.Name == "" {
 		return proto.CreateResp{}, errors.New("fs: empty file name")
@@ -415,31 +429,29 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 	if req.Size <= 0 {
 		return proto.CreateResp{}, fmt.Errorf("fs: create %q with size %d", req.Name, req.Size)
 	}
-	if _, exists := s.meta.LookupName(req.Name); exists {
-		return proto.CreateResp{}, fmt.Errorf("fs: file %q already exists", req.Name)
-	}
 
-	s.mu.Lock()
-	nodeIdx, err := s.pickNodeLocked()
+	nodeIdx, err := s.pickNode()
 	if err != nil {
-		s.mu.Unlock()
 		return proto.CreateResp{}, err
 	}
-	id := s.nextID
-	s.nextID++
-	s.sizes = append(s.sizes, req.Size)
-	s.mu.Unlock()
+	id := s.nextID.Add(1) - 1
+	s.sizes.set(id, req.Size)
+
+	claimed, err := s.meta.PutIfAbsent(metadata.FileInfo{
+		Name: req.Name, ID: int(id), Size: req.Size, Node: nodeIdx,
+	})
+	if err != nil {
+		return proto.CreateResp{}, err
+	}
+	if !claimed {
+		return proto.CreateResp{}, fmt.Errorf("fs: file %q already exists", req.Name)
+	}
 
 	h := s.nodes[nodeIdx]
 	s.placements[nodeIdx].Inc()
 	if _, _, err := s.roundTrip(h, proto.TNodeCreateReq,
 		proto.NodeCreateReq{FileID: id, Size: req.Size}.Encode()); err != nil {
-		return proto.CreateResp{}, err
-	}
-
-	if err := s.meta.Put(metadata.FileInfo{
-		Name: req.Name, ID: int(id), Size: req.Size, Node: nodeIdx,
-	}); err != nil {
+		s.meta.Delete(req.Name) // roll back the claim; the id slot is burned
 		return proto.CreateResp{}, err
 	}
 	s.saveState()
@@ -460,15 +472,12 @@ func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 		return proto.LookupResp{}, fmt.Errorf("fs: %w: file %q is on node %s",
 			ErrNodeUnavailable, req.Name, h.addr)
 	}
-	s.mu.Lock()
-	s.accesses.Append(trace.Record{
-		Seq:    int64(s.accesses.Len()),
+	s.accesses.Append(trace.Record{ // Seq is assigned atomically by the log
 		TimeS:  float64(s.clock.Now()),
 		Op:     trace.Read,
 		FileID: fi.ID,
 		Size:   fi.Size,
 	})
-	s.mu.Unlock()
 	s.accessCtr.Inc()
 	return proto.LookupResp{
 		FileID:   int64(fi.ID),
@@ -504,12 +513,13 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("fs: negative prefetch count %d", k)
 	}
-	s.mu.Lock()
-	numFiles := int(s.nextID)
-	counts := s.accesses.Counts(numFiles)
-	sizes := make([]int64, numFiles)
-	copy(sizes, s.sizes)
-	s.mu.Unlock()
+	// Consistent-enough snapshot without any lock: load the id horizon
+	// first, then counts and sizes. A file created after the horizon load
+	// simply misses this prefetch round; a file mid-create reads count 0
+	// and is never selected (Select skips zero-count files).
+	numFiles := s.nextID.Load()
+	counts := s.accesses.Counts(int(numFiles))
+	sizes := s.sizes.snapshot(numFiles)
 
 	ids, err := prefetch.Select(counts, sizes, k, 0)
 	if err != nil {
@@ -565,13 +575,12 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 // access log and groups the hints by owning node. Files seen fewer than
 // twice yield no estimate.
 func (s *Server) hintsPerNode() map[int][]proto.FileHint {
-	s.mu.Lock()
 	type span struct {
 		first, last float64
 		count       int
 	}
 	spans := make(map[int]*span)
-	for _, rec := range s.accesses.Entries() {
+	for _, rec := range s.accesses.Snapshot() {
 		sp, ok := spans[rec.FileID]
 		if !ok {
 			spans[rec.FileID] = &span{first: rec.TimeS, last: rec.TimeS, count: 1}
@@ -585,7 +594,6 @@ func (s *Server) hintsPerNode() map[int][]proto.FileHint {
 		}
 		sp.count++
 	}
-	s.mu.Unlock()
 
 	out := make(map[int][]proto.FileHint)
 	for id, sp := range spans {
@@ -644,7 +652,5 @@ func (s *Server) handleStats() (proto.StatsResp, error) {
 
 // AccessCount reports the number of journaled accesses (for tests).
 func (s *Server) AccessCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.accesses.Len()
 }

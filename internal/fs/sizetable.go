@@ -1,0 +1,68 @@
+package fs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Chunk geometry for sizeTable, mirroring trace.AtomicLog: ids are dense
+// and monotonic, so a chunked grow-only array beats a map and needs no
+// per-read lock.
+const (
+	sizeChunkBits = 10
+	sizeChunkSize = 1 << sizeChunkBits
+)
+
+type sizeChunk [sizeChunkSize]int64
+
+// sizeTable is the server's id -> size record, kept separately from the
+// metadata map because deleted files must keep their slot (popularity
+// counts are indexed by dense file id). Writes happen on the create
+// path; reads happen during prefetch ranking; both are lock-free after
+// the chunk exists. Must not be copied.
+type sizeTable struct {
+	chunks atomic.Pointer[[]*sizeChunk]
+	grow   sync.Mutex
+}
+
+// set stores the size for a file id, growing the chunk directory on
+// first touch of a new chunk.
+func (t *sizeTable) set(id int64, size int64) {
+	idx := int(id >> sizeChunkBits)
+	for {
+		if cs := t.chunks.Load(); cs != nil && idx < len(*cs) {
+			atomic.StoreInt64(&(*cs)[idx][id&(sizeChunkSize-1)], size)
+			return
+		}
+		t.grow.Lock()
+		cs := t.chunks.Load()
+		if cs == nil || idx >= len(*cs) {
+			var grown []*sizeChunk
+			if cs != nil {
+				grown = append(grown, *cs...)
+			}
+			for len(grown) <= idx {
+				grown = append(grown, new(sizeChunk))
+			}
+			t.chunks.Store(&grown)
+		}
+		t.grow.Unlock()
+	}
+}
+
+// snapshot copies sizes for ids [0, n); ids never set read as 0.
+func (t *sizeTable) snapshot(n int64) []int64 {
+	out := make([]int64, n)
+	cs := t.chunks.Load()
+	if cs == nil {
+		return out
+	}
+	for id := int64(0); id < n; id++ {
+		idx := int(id >> sizeChunkBits)
+		if idx >= len(*cs) {
+			break
+		}
+		out[id] = atomic.LoadInt64(&(*cs)[idx][id&(sizeChunkSize-1)])
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Concurrency stress tests for the sharded server (ISSUE 3): goroutine
+// clients hammer lookup/read/stat while popularity recomputation runs,
+// and the atomic access log must not lose a single update. Run with
+// -race for the full payoff.
+
+func TestStressClientsAgainstPrefetchRecomputation(t *testing.T) {
+	cl, srv, _ := testCluster(t, 2, nil)
+
+	const files = 16
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		if err := cl.Create(name, bytes.Repeat([]byte{byte('a' + i)}, 500+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		clients        = 8
+		readsPerClient = 25
+	)
+	var reads atomic.Int64
+	errs := make(chan error, clients+1)
+
+	// One goroutine drives popularity recomputation and hint derivation
+	// (Counts + Snapshot walks over the live atomic log) for as long as
+	// the readers run.
+	stopPrefetch := make(chan struct{})
+	var prefetchWg sync.WaitGroup
+	prefetchWg.Add(1)
+	go func() {
+		defer prefetchWg.Done()
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stopPrefetch:
+				return
+			default:
+			}
+			if _, err := c.Prefetch(4); err != nil {
+				errs <- fmt.Errorf("prefetch: %w", err)
+				return
+			}
+		}
+	}()
+
+	var readerWg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		readerWg.Add(1)
+		go func(g int) {
+			defer readerWg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < readsPerClient; i++ {
+				name := fmt.Sprintf("f%02d", (g*7+i)%files)
+				if _, _, err := c.Read(name); err != nil {
+					errs <- fmt.Errorf("read %s: %w", name, err)
+					return
+				}
+				reads.Add(1)
+				if i%5 == 0 {
+					if _, err := c.Stats(); err != nil {
+						errs <- fmt.Errorf("stats: %w", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	readerWg.Wait()
+	close(stopPrefetch)
+	prefetchWg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// No lost updates: every read journaled exactly one access.
+	if got, want := srv.AccessCount(), int(reads.Load()); got != want {
+		t.Errorf("access log has %d entries, want %d (lost updates)", got, want)
+	}
+	// Clean shutdown with traffic recently in flight.
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestStressDuplicateCreateRace: N clients race to create one name;
+// the PutIfAbsent gate must let exactly one win.
+func TestStressDuplicateCreateRace(t *testing.T) {
+	cl, srv, _ := testCluster(t, 2, nil)
+	const racers = 8
+	var wins, dups atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, racers)
+	for g := 0; g < racers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			err = c.Create("contested", []byte("payload"))
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case strings.Contains(err.Error(), "already exists"):
+				dups.Add(1)
+			default:
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if wins.Load() != 1 || dups.Load() != racers-1 {
+		t.Fatalf("create race: %d winners, %d duplicates (want 1/%d)",
+			wins.Load(), dups.Load(), racers-1)
+	}
+	if data, _, err := cl.Read("contested"); err != nil || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("winner's file unreadable: %v", err)
+	}
+}

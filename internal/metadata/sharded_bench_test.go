@@ -1,0 +1,65 @@
+package metadata
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ServerMap (one RWMutex) vs Sharded (64 stripes) under parallel load:
+// the microbenchmark half of the ISSUE 3 server ops/sec comparison.
+
+const benchFiles = 1024
+
+type metaMap interface {
+	Put(FileInfo) error
+	LookupName(string) (FileInfo, bool)
+	LookupID(int) (FileInfo, bool)
+}
+
+func fillMeta(b *testing.B, m metaMap) {
+	b.Helper()
+	for i := 0; i < benchFiles; i++ {
+		if err := m.Put(FileInfo{
+			Name: fmt.Sprintf("f%04d", i), ID: i, Size: int64(i + 1), Node: i % 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLookups(b *testing.B, m metaMap) {
+	fillMeta(b, m)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := m.LookupName(fmt.Sprintf("f%04d", i%benchFiles)); !ok {
+				b.Fatal("lookup miss")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkServerMapLookupParallel(b *testing.B) { benchLookups(b, NewServerMap()) }
+func BenchmarkShardedLookupParallel(b *testing.B)   { benchLookups(b, NewSharded()) }
+
+func benchMixed(b *testing.B, m metaMap) {
+	fillMeta(b, m)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				id := benchFiles + i
+				_ = m.Put(FileInfo{Name: fmt.Sprintf("w%07d", id), ID: id, Size: 1, Node: 0})
+			} else {
+				m.LookupID(i % benchFiles)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkServerMapMixedParallel(b *testing.B) { benchMixed(b, NewServerMap()) }
+func BenchmarkShardedMixedParallel(b *testing.B)   { benchMixed(b, NewSharded()) }

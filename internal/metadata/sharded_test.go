@@ -1,0 +1,187 @@
+package metadata
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardedBasicOps(t *testing.T) {
+	s := NewSharded()
+	if s.Len() != 0 {
+		t.Fatalf("fresh map Len = %d", s.Len())
+	}
+	for i := 0; i < 200; i++ {
+		fi := FileInfo{Name: fmt.Sprintf("f%03d", i), ID: i, Size: int64(i + 1), Node: i % 4}
+		if err := s.Put(fi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+	fi, ok := s.LookupName("f042")
+	if !ok || fi.ID != 42 || fi.Size != 43 {
+		t.Fatalf("LookupName(f042) = %+v, %v", fi, ok)
+	}
+	fi, ok = s.LookupID(42)
+	if !ok || fi.Name != "f042" {
+		t.Fatalf("LookupID(42) = %+v, %v", fi, ok)
+	}
+	if !s.Delete("f042") {
+		t.Fatal("Delete(f042) = false")
+	}
+	if s.Delete("f042") {
+		t.Fatal("second Delete(f042) = true")
+	}
+	if _, ok := s.LookupName("f042"); ok {
+		t.Fatal("deleted name still resolves")
+	}
+	if _, ok := s.LookupID(42); ok {
+		t.Fatal("deleted id still resolves")
+	}
+	if s.Len() != 199 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestShardedMatchesServerMap(t *testing.T) {
+	// The striped map must be observationally identical to ServerMap on a
+	// sequential workload, including replacement semantics.
+	a, b := NewServerMap(), NewSharded()
+	ops := []FileInfo{
+		{Name: "x", ID: 0, Size: 10, Node: 0},
+		{Name: "y", ID: 1, Size: 20, Node: 1},
+		{Name: "x", ID: 2, Size: 30, Node: 0}, // rename id under x: 0 must drop
+		{Name: "z", ID: 1, Size: 40, Node: 2}, // steal id 1 from y: y must drop
+	}
+	for _, fi := range ops {
+		errA, errB := a.Put(fi), b.Put(fi)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("Put(%+v): ServerMap err %v vs Sharded err %v", fi, errA, errB)
+		}
+	}
+	if !reflect.DeepEqual(a.Names(), b.Names()) {
+		t.Fatalf("Names diverge: %v vs %v", a.Names(), b.Names())
+	}
+	for _, name := range []string{"x", "y", "z", "ghost"} {
+		fa, oka := a.LookupName(name)
+		fb, okb := b.LookupName(name)
+		if oka != okb || fa != fb {
+			t.Errorf("LookupName(%q): %+v,%v vs %+v,%v", name, fa, oka, fb, okb)
+		}
+	}
+	for id := -1; id < 4; id++ {
+		fa, oka := a.LookupID(id)
+		fb, okb := b.LookupID(id)
+		if oka != okb || fa != fb {
+			t.Errorf("LookupID(%d): %+v,%v vs %+v,%v", id, fa, oka, fb, okb)
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	s := NewSharded()
+	for _, fi := range []FileInfo{
+		{Name: "", ID: 0, Size: 1, Node: 0},
+		{Name: "a", ID: 0, Size: 0, Node: 0},
+		{Name: "a", ID: 0, Size: -5, Node: 0},
+		{Name: "a", ID: 0, Size: 1, Node: -1},
+	} {
+		if err := s.Put(fi); err == nil {
+			t.Errorf("Put(%+v) accepted invalid record", fi)
+		}
+		if ok, err := s.PutIfAbsent(fi); err == nil || ok {
+			t.Errorf("PutIfAbsent(%+v) accepted invalid record", fi)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("invalid Puts left %d records", s.Len())
+	}
+}
+
+func TestShardedPutIfAbsentRace(t *testing.T) {
+	s := NewSharded()
+	const racers = 16
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < racers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ok, err := s.PutIfAbsent(FileInfo{Name: "one", ID: g, Size: 1, Node: 0})
+			if err != nil {
+				t.Error(err)
+			}
+			if ok {
+				wins.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d racers claimed the name, want exactly 1", wins.Load())
+	}
+	fi, ok := s.LookupName("one")
+	if !ok {
+		t.Fatal("claimed name does not resolve")
+	}
+	if got, _ := s.LookupID(fi.ID); got.Name != "one" {
+		t.Fatalf("winner's id %d resolves to %+v", fi.ID, got)
+	}
+}
+
+func TestShardedConcurrentMixedOps(t *testing.T) {
+	s := NewSharded()
+	const (
+		writers = 4
+		perW    = 100
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				id := w*perW + i
+				name := fmt.Sprintf("w%d-%03d", w, i)
+				if err := s.Put(FileInfo{Name: name, ID: id, Size: 1, Node: w}); err != nil {
+					t.Error(err)
+				}
+				if i%3 == 0 {
+					s.Delete(name)
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers over the whole id space.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writers*perW; i++ {
+				s.LookupID(i)
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	// Every surviving name must resolve consistently by name and id.
+	for _, name := range s.Names() {
+		fi, ok := s.LookupName(name)
+		if !ok {
+			t.Fatalf("listed name %q does not resolve", name)
+		}
+		back, ok := s.LookupID(fi.ID)
+		if !ok || back.Name != name {
+			t.Fatalf("id %d of %q resolves to %+v, %v", fi.ID, name, back, ok)
+		}
+	}
+	deletedPerW := (perW + 2) / 3 // i%3==0 for i in [0, perW)
+	want := writers * (perW - deletedPerW)
+	if got := s.Len(); got != want {
+		t.Fatalf("Len = %d, want %d (non-deleted records)", got, want)
+	}
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// Append-path comparison: the mutex-guarded AccessLog (what the server
+// used behind its global lock) vs the lock-free AtomicLog.
+
+func BenchmarkAccessLogAppendMutex(b *testing.B) {
+	var (
+		mu  sync.Mutex
+		log AccessLog
+	)
+	rec := Record{TimeS: 1, Op: Read, FileID: 3, Size: 1 << 20}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			r := rec
+			r.Seq = int64(log.Len())
+			log.Append(r)
+			mu.Unlock()
+		}
+	})
+}
+
+func BenchmarkAtomicLogAppend(b *testing.B) {
+	var log AtomicLog
+	rec := Record{TimeS: 1, Op: Read, FileID: 3, Size: 1 << 20}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			log.Append(rec)
+		}
+	})
+}
+
+func BenchmarkAtomicLogCountsWhileAppending(b *testing.B) {
+	var log AtomicLog
+	for i := 0; i < 4096; i++ {
+		log.Append(Record{TimeS: float64(i), Op: Read, FileID: i % 64, Size: 1})
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%8 == 0 {
+				log.Counts(64)
+			} else {
+				log.Append(Record{TimeS: 1, Op: Read, FileID: i % 64, Size: 1})
+			}
+			i++
+		}
+	})
+}

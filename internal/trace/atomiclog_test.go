@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestAtomicLogSequentialMatchesAccessLog(t *testing.T) {
+	var al AtomicLog
+	var ref AccessLog
+	for i := 0; i < 2500; i++ { // crosses a chunk boundary (1024)
+		r := Record{TimeS: float64(i), Op: Read, FileID: i % 7, Size: int64(i)}
+		seq := al.Append(r)
+		if seq != int64(i) {
+			t.Fatalf("Append %d returned seq %d", i, seq)
+		}
+		r.Seq = int64(i)
+		ref.Append(r)
+	}
+	if al.Len() != ref.Len() {
+		t.Fatalf("Len %d vs AccessLog %d", al.Len(), ref.Len())
+	}
+	snap := al.Snapshot()
+	entries := ref.Entries()
+	if len(snap) != len(entries) {
+		t.Fatalf("Snapshot %d records vs %d", len(snap), len(entries))
+	}
+	for i := range snap {
+		if snap[i] != entries[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, snap[i], entries[i])
+		}
+	}
+	for _, n := range []int{0, 3, 7, 20} {
+		a, b := al.Counts(n), ref.Counts(n)
+		for id := range a {
+			if a[id] != b[id] {
+				t.Fatalf("Counts(%d)[%d] = %d vs %d", n, id, a[id], b[id])
+			}
+		}
+	}
+}
+
+func TestAtomicLogConcurrentAppends(t *testing.T) {
+	var al AtomicLog
+	const (
+		writers = 8
+		perW    = 600 // total 4800: several chunk-directory grows
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				al.Append(Record{TimeS: 1, Op: Read, FileID: w, Size: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if al.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d (lost appends)", al.Len(), writers*perW)
+	}
+	snap := al.Snapshot()
+	if len(snap) != writers*perW {
+		t.Fatalf("Snapshot has %d records, want %d", len(snap), writers*perW)
+	}
+	// Sequence numbers must be dense and in order.
+	for i, r := range snap {
+		if r.Seq != int64(i) {
+			t.Fatalf("record %d has Seq %d", i, r.Seq)
+		}
+	}
+	// Per-writer counts must be exact: no record lost or duplicated.
+	counts := al.Counts(writers)
+	for w, c := range counts {
+		if c != perW {
+			t.Fatalf("writer %d count %d, want %d", w, c, perW)
+		}
+	}
+}
+
+func TestAtomicLogReadersDuringAppends(t *testing.T) {
+	var al AtomicLog
+	const total = 3000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			al.Append(Record{TimeS: float64(i), Op: Read, FileID: i % 5, Size: 1})
+		}
+	}()
+	// Concurrent readers must always observe a consistent prefix: ordered
+	// seqs, monotone lengths. Gosched keeps this loop from starving the
+	// appender on a single-core machine.
+	prevLen := 0
+	for {
+		select {
+		case <-done:
+			if got := len(al.Snapshot()); got != total {
+				t.Fatalf("final snapshot %d records, want %d", got, total)
+			}
+			return
+		default:
+			runtime.Gosched()
+		}
+		snap := al.Snapshot()
+		if len(snap) < prevLen {
+			t.Fatalf("snapshot shrank: %d -> %d", prevLen, len(snap))
+		}
+		prevLen = len(snap)
+		last := int64(-1)
+		for _, r := range snap {
+			if r.Seq <= last {
+				t.Fatalf("snapshot seqs out of order: %d after %d", r.Seq, last)
+			}
+			last = r.Seq
+		}
+		al.Counts(5)
+	}
+}
+
+func TestAtomicLogEmpty(t *testing.T) {
+	var al AtomicLog
+	if al.Len() != 0 {
+		t.Fatalf("empty Len = %d", al.Len())
+	}
+	if got := al.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty Snapshot = %v", got)
+	}
+	if got := al.Counts(3); len(got) != 3 || got[0]+got[1]+got[2] != 0 {
+		t.Fatalf("empty Counts = %v", got)
+	}
+}

@@ -113,6 +113,10 @@ func (t *Trace) ByFile() map[int][]float64 {
 // header tags the serialized format so stale files fail loudly.
 const header = "eevfs-trace/1"
 
+// maxPrealloc bounds how many entries Parse reserves from a
+// header-declared count before any data lines have been read.
+const maxPrealloc = 1 << 16
+
 // Write serializes the trace in a line-oriented text format:
 //
 //	eevfs-trace/1
@@ -170,7 +174,11 @@ func Parse(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: bad file count line %q", h)
 	}
 
-	t := &Trace{FileSizes: make([]int64, nFiles)}
+	// The counts in the header are untrusted input: cap the upfront
+	// allocation and grow as lines actually arrive, so a bogus
+	// "files 999999999" header cannot demand gigabytes before the
+	// first missing line is noticed.
+	t := &Trace{FileSizes: make([]int64, 0, min(nFiles, maxPrealloc))}
 	for i := 0; i < nFiles; i++ {
 		h, err = line()
 		if err != nil {
@@ -184,7 +192,7 @@ func Parse(r io.Reader) (*Trace, error) {
 		if id != i {
 			return nil, fmt.Errorf("trace: size line out of order: got file %d, want %d", id, i)
 		}
-		t.FileSizes[i] = sz
+		t.FileSizes = append(t.FileSizes, sz)
 	}
 
 	var nRecs int
@@ -197,7 +205,7 @@ func Parse(r io.Reader) (*Trace, error) {
 	}
 
 	if nRecs > 0 {
-		t.Records = make([]Record, 0, nRecs)
+		t.Records = make([]Record, 0, min(nRecs, maxPrealloc))
 	}
 	for i := 0; i < nRecs; i++ {
 		h, err = line()
