@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel cover
+.PHONY: build test race vet fuzz verify bench bench-parallel cover soak
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ cover:
 	echo "total coverage: $$total% (baseline $$base%)"; \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { exit (t + 1e-9 < b) ? 1 : 0 }' || \
 		{ echo "coverage ratchet FAILED: $$total% < baseline $$base%"; exit 1; }
+
+# Randomized simulation soak (DESIGN.md §14): fresh seeds through every
+# invariant oracle, plus a live TCP-stack scenario every 50 iterations.
+# Failures shrink to a one-line repro; SOAK_SEED pins the seed base.
+SOAK_SEED ?= 1
+soak:
+	$(GO) run ./cmd/eevfssim -seed $(SOAK_SEED) -n 500 -live 50
 
 # The full pre-merge gate: vet + build + the whole suite under the race
 # detector (the chaos tests in internal/fs exercise real concurrency).

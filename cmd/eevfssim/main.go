@@ -1,0 +1,132 @@
+// Command eevfssim is the deterministic-simulation soak runner: it
+// generates randomized cluster scenarios from a base seed, checks every
+// invariant oracle against each one, and on failure shrinks the scenario
+// to a minimal reproducer and prints a one-line replay command.
+//
+// Usage:
+//
+//	eevfssim -seed=1 -n=200            # 200 scenarios from seed 1
+//	eevfssim -duration=10m             # soak until the clock runs out
+//	eevfssim -repro='v1,seed=42,...'   # replay one encoded scenario
+//	eevfssim -live=20                  # every 20th iteration: real TCP stack
+//
+// Exit status is 0 when every scenario upholds every oracle, 1 on any
+// failure, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eevfs/internal/simtest"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "base seed; scenario i uses seed+i")
+		n        = flag.Int("n", 200, "number of scenarios to run")
+		duration = flag.Duration("duration", 0, "run until this much wall time has passed (overrides -n)")
+		repro    = flag.String("repro", "", "replay one encoded scenario (from a previous failure) and exit")
+		live     = flag.Int("live", 0, "every N-th iteration, also run a live TCP-stack scenario (0 = never)")
+		out      = flag.String("out", "", "append failing repro commands to this file")
+		verbose  = flag.Bool("v", false, "log every scenario, not just failures")
+	)
+	flag.Parse()
+
+	if *repro != "" {
+		os.Exit(replay(*repro))
+	}
+
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eevfssim: %v\n", err)
+			os.Exit(2)
+		}
+		outFile = f
+		defer outFile.Close()
+	}
+
+	// The soak loop itself may use wall time (-duration is an operator
+	// budget, not part of any scenario); each scenario's behavior depends
+	// only on its seed.
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	failures := 0
+	ran := 0
+	start := time.Now()
+	for i := 0; ; i++ {
+		if deadline.IsZero() {
+			if i >= *n {
+				break
+			}
+		} else if time.Now().After(deadline) {
+			break
+		}
+		s := simtest.Generate(*seed + uint64(i))
+		ran++
+		if *verbose {
+			fmt.Printf("run  seed=%d %s\n", s.Seed, s.Encode())
+		}
+		if f := simtest.Check(s); f != nil {
+			failures++
+			report(s, f, outFile)
+		}
+		if *live > 0 && i%*live == 0 {
+			ls := simtest.GenerateLive(*seed + uint64(i))
+			dir, err := os.MkdirTemp("", "eevfssim-live-")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "eevfssim: %v\n", err)
+				os.Exit(2)
+			}
+			if *verbose {
+				fmt.Printf("live seed=%d nodes=%d ops=%d kill=%d\n", ls.Seed, ls.Nodes, ls.Ops, ls.KillNode)
+			}
+			if err := simtest.CheckLive(ls, dir); err != nil {
+				failures++
+				line := fmt.Sprintf("FAIL live seed=%d: %v", ls.Seed, err)
+				fmt.Println(line)
+				if outFile != nil {
+					fmt.Fprintln(outFile, line)
+				}
+			}
+			os.RemoveAll(dir)
+		}
+	}
+	fmt.Printf("eevfssim: %d scenarios, %d failures, %s\n", ran, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// replay decodes and re-checks one scenario, printing the verdict.
+func replay(encoded string) int {
+	s, err := simtest.DecodeScenario(encoded)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eevfssim: %v\n", err)
+		return 2
+	}
+	if f := simtest.Check(s); f != nil {
+		fmt.Printf("FAIL oracle=%s seed=%d: %s\n", f.Oracle, s.Seed, f.Msg)
+		return 1
+	}
+	fmt.Printf("PASS seed=%d: all oracles hold\n", s.Seed)
+	return 0
+}
+
+// report shrinks a failing scenario and prints the one-line repro.
+func report(s simtest.Scenario, f *simtest.Failure, outFile *os.File) {
+	min := simtest.Shrink(s, f, simtest.Check)
+	line := fmt.Sprintf("FAIL oracle=%s seed=%d (shrunk %d->%d requests in %d runs): %s\n  repro: %s",
+		min.Failure.Oracle, s.Seed, s.Requests, min.Scenario.Requests, min.Runs,
+		min.Failure.Msg, simtest.ReproCommand(min.Scenario))
+	fmt.Println(line)
+	if outFile != nil {
+		fmt.Fprintln(outFile, line)
+	}
+}

@@ -289,5 +289,8 @@ func (c Config) NPF() Config {
 	c.DPMWithoutPrefetch = false
 	c.MAID = false
 	c.Concentrate = false
+	// Dynamic reprefetching rides on Prefetch; leaving it set would make
+	// the NPF arm fail validation (ReprefetchEvery requires Prefetch).
+	c.ReprefetchEvery = 0
 	return c
 }

@@ -59,6 +59,12 @@ type Result struct {
 	// Requests is the number of trace records replayed.
 	Requests int
 
+	// UpNodes is the number of in-service storage nodes the run actually
+	// simulated (Nodes minus DownNodes). BaseEnergyJ integrates the node
+	// base power over exactly these nodes, so invariant checkers can
+	// verify the energy accounting without re-deriving degraded placement.
+	UpNodes int
+
 	// PerDisk carries each disk's final accounting ("node<i>/data<j>" and
 	// "node<i>/buffer" names).
 	PerDisk []disk.Stats

@@ -1004,6 +1004,7 @@ func (s *sim) finalize() {
 		s.res.PerLink = append(s.res.PerLink, n.link.Stats())
 	}
 
+	s.res.UpNodes = len(s.nodes)
 	s.res.BaseEnergyJ = s.cfg.NodeBasePowerW * float64(makespan) * float64(len(s.nodes))
 	s.res.TotalEnergyJ = s.res.BaseEnergyJ + s.res.DiskEnergyJ
 	s.res.Response = s.resp.Summarize()

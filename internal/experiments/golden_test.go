@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenOptions pins every experiment to a small fixed workload so the
+// goldens are fast to regenerate and byte-stable across machines (the
+// simulator is deterministic; nothing here depends on wall time).
+func goldenOptions() Options {
+	return Options{Requests: 120, Seed: 1}
+}
+
+// TestGolden renders every registered experiment at a fixed seed and
+// compares the output byte-for-byte with testdata/<id>.golden. A diff
+// means simulator behavior changed: if the change is intended (a model
+// fix, a new column), regenerate with -update and review the diff like
+// any other code change; if not, this just caught a regression.
+func TestGolden(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := Run(id, goldenOptions())
+			if err != nil {
+				t.Fatalf("running %s: %v", id, err)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden for %s (run with -update to create): %v", id, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with -update if intended)",
+					id, buf.String(), want)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"eevfs/internal/disk"
 	"eevfs/internal/faultnet"
 	"eevfs/internal/proto"
+	"eevfs/internal/simtest/leak"
 )
 
 // chaosTransport is the deliberately aggressive timeout/retry policy the
@@ -37,6 +38,10 @@ func chaosTransport() proto.TransportConfig {
 // chaos scripts deterministic.
 func chaosCluster(t *testing.T, numNodes int) (cl *Client, srv *Server, nodes []*Node, serverNet, clientNet *faultnet.Network) {
 	t.Helper()
+	// Every chaos test spawns server probe loops and node accept
+	// goroutines; the Close paths must join them all, even after forced
+	// failures. Registered first so it runs after the other cleanups.
+	leak.Check(t)
 	quiet := log.New(io.Discard, "", 0)
 	serverNet = faultnet.New(1)
 	clientNet = faultnet.New(2)

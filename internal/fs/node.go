@@ -195,6 +195,20 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
+// Files returns a snapshot of the node's local metadata, in id order.
+// The simulation-testing harness uses it to cross-check the server's
+// placement records against what each node actually holds.
+func (n *Node) Files() []metadata.NodeEntry {
+	ids := n.meta.IDs()
+	out := make([]metadata.NodeEntry, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := n.meta.Lookup(id); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Close stops the daemon, flushes the write buffer, and waits for
 // connections to drain.
 func (n *Node) Close() error {

@@ -654,3 +654,18 @@ func (s *Server) handleStats() (proto.StatsResp, error) {
 func (s *Server) AccessCount() int {
 	return s.accesses.Len()
 }
+
+// Files returns a snapshot of the server's metadata records, in name
+// order. The simulation-testing harness compares this view against each
+// node's local metadata after chaos runs; a file the server claims must
+// exist on the node it names, with the same size.
+func (s *Server) Files() []metadata.FileInfo {
+	names := s.meta.Names()
+	out := make([]metadata.FileInfo, 0, len(names))
+	for _, name := range names {
+		if fi, ok := s.meta.LookupName(name); ok {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

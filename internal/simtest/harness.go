@@ -1,0 +1,135 @@
+package simtest
+
+import (
+	"fmt"
+	"reflect"
+
+	"eevfs/internal/cluster"
+	"eevfs/internal/telemetry"
+	"eevfs/internal/trace"
+	"eevfs/internal/workload"
+)
+
+// Artifacts is everything one scenario run leaves behind for the oracles:
+// the inputs (scenario, trace), both comparison arms' results, and the
+// simulator's structured event journal.
+type Artifacts struct {
+	Scenario Scenario
+	Trace    *trace.Trace
+	// Result is the scenario's own arm; NPF is the same trace replayed
+	// with cluster.Config.NPF() (prefetching and power management off),
+	// the paper's baseline.
+	Result cluster.Result
+	NPF    cluster.Result
+	// Events is the PF arm's journal, in append order.
+	Events []telemetry.Event
+}
+
+// Failure is one invariant violation: which oracle tripped and why. The
+// Oracle name is the shrinker's equivalence class — a reduction candidate
+// "still fails" only if the same oracle trips again.
+type Failure struct {
+	Oracle string
+	Msg    string
+}
+
+// Error implements error.
+func (f *Failure) Error() string { return f.Oracle + ": " + f.Msg }
+
+func failf(oracle, format string, args ...any) *Failure {
+	return &Failure{Oracle: oracle, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Run executes the scenario through the cluster simulator: it generates
+// the workload from the scenario seed, simulates the scenario's own
+// configuration with a journal attached, simulates the NPF arm, and
+// applies any test-only injection to the artifacts. It does not judge the
+// results — that is Check's job.
+func Run(s Scenario) (*Artifacts, error) {
+	tr, err := workload.Synthetic(s.WorkloadConfig())
+	if err != nil {
+		return nil, fmt.Errorf("simtest: workload: %w", err)
+	}
+	cfg := s.ClusterConfig()
+	jour := &telemetry.Journal{}
+	cfg.Journal = jour
+	res, err := cluster.Run(cfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: cluster run: %w", err)
+	}
+	npfCfg := s.ClusterConfig().NPF()
+	npf, err := cluster.Run(npfCfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: NPF arm: %w", err)
+	}
+	art := &Artifacts{
+		Scenario: s,
+		Trace:    tr,
+		Result:   res,
+		NPF:      npf,
+		Events:   jour.Events(),
+	}
+	applyInject(art)
+	return art, nil
+}
+
+// applyInject mutates the artifacts according to the scenario's test-only
+// invariant breaker. The injection is part of the Scenario value, so a
+// repro string replays the corrupted run — and its oracle failure —
+// exactly.
+func applyInject(a *Artifacts) {
+	switch a.Scenario.Inject {
+	case "":
+	case InjectReadStandby:
+		// A phantom disk whose journal timeline is legal right up to the
+		// point where it services a read while in standby. The timeline
+		// is self-consistent (idle -> spinning-down -> standby), so the
+		// power-legality oracle flags exactly the standby read.
+		const phantom = "node0/phantom"
+		a.Events = append(a.Events,
+			telemetry.Event{TimeS: 0, Kind: telemetry.KindState, Subject: phantom, Detail: "idle"},
+			telemetry.Event{TimeS: 1, Kind: telemetry.KindState, Subject: phantom, Detail: "spinning-down"},
+			telemetry.Event{TimeS: 2, Kind: telemetry.KindState, Subject: phantom, Detail: "standby"},
+			telemetry.Event{TimeS: 3, Kind: telemetry.KindService, Subject: phantom, Detail: "read", DurS: 0.01},
+		)
+	case InjectEnergySkew:
+		a.Result.DiskEnergyJ++
+	}
+}
+
+// Check runs the scenario and judges it against every oracle, returning
+// the first violation (nil means the scenario upholds all invariants).
+// The determinism oracle is built in: the scenario is simulated twice and
+// the two runs must agree bit-for-bit, which is what makes every other
+// failure replayable from a seed.
+func Check(s Scenario) *Failure {
+	if err := s.Valid(); err != nil {
+		return failf("valid", "scenario expands to an invalid config: %v", err)
+	}
+	a, err := Run(s)
+	if err != nil {
+		return failf("run", "%v", err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		return failf("run", "second run: %v", err)
+	}
+	if !reflect.DeepEqual(a.Result, b.Result) {
+		return failf("determinism", "two runs of the same scenario disagree: %+v vs %+v", a.Result, b.Result)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		return failf("determinism", "two runs journaled different timelines (%d vs %d events)", len(a.Events), len(b.Events))
+	}
+	return CheckArtifacts(a)
+}
+
+// CheckArtifacts judges already-produced artifacts against every oracle
+// in catalogue order, returning the first violation.
+func CheckArtifacts(a *Artifacts) *Failure {
+	for _, o := range Oracles {
+		if f := o.Check(a); f != nil {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package leak detects goroutines that outlive the test that started
+// them. The storage server's probe loop and the telemetry admin listener
+// both spawn background goroutines; a missing Close (or a Close that does
+// not wait) leaks them across tests, where they race later tests' state.
+//
+// The checker is snapshot-based: record the running goroutines at test
+// start, and at cleanup wait for every goroutine not present in the
+// snapshot to exit. Stacks are normalized (ids, addresses, and argument
+// values stripped) so two goroutines parked in the same place compare
+// equal. It deliberately lives in its own package with no dependencies
+// beyond the runtime, so any internal test package can use it without
+// import cycles.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Check waits for goroutines started during
+// the test to finish after cleanup. Close paths that signal shutdown
+// without joining (e.g. http.Server.Close) need a grace period.
+const settleTimeout = 5 * time.Second
+
+// Snapshot is a multiset of normalized goroutine stacks.
+type Snapshot map[string]int
+
+// Take captures the currently running goroutines. Stacks are keyed by
+// their function-call chain with goroutine ids, states, addresses, and
+// source offsets stripped.
+func Take() Snapshot {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	snap := make(Snapshot)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if key := normalize(g); key != "" {
+			snap[key]++
+		}
+	}
+	return snap
+}
+
+// normalize reduces one goroutine dump block to its call chain: the
+// function lines only, with argument values removed. Returns "" for
+// blocks that should never count as leaks.
+func normalize(block string) string {
+	lines := strings.Split(strings.TrimSpace(block), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return ""
+	}
+	var fns []string
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "\t") || l == "" {
+			continue // file:line position lines
+		}
+		// "pkg.(*T).Func(0xc0000b2000, 0x1)" -> "pkg.(*T).Func": the
+		// argument list is the LAST paren group (method receivers put
+		// parens inside the name). Keep the "created by " prefix so
+		// origin distinguishes otherwise identical parks.
+		if i := strings.LastIndexByte(l, '('); i > 0 && strings.HasSuffix(l, ")") {
+			l = l[:i]
+		}
+		// "created by pkg.start in goroutine 1" -> "created by pkg.start".
+		if i := strings.Index(l, " in goroutine"); i > 0 {
+			l = l[:i]
+		}
+		fns = append(fns, strings.TrimSpace(l))
+	}
+	key := strings.Join(fns, " <- ")
+	for _, benign := range []string{
+		"runtime.Stack",         // the snapshot-taking goroutine itself
+		"simtest/leak.Take",     // ditto when the traceback elides runtime.Stack
+		"testing.(*T).Run",      // test runner goroutines
+		"testing.(*M).Run",      // the test main goroutine
+		"testing.runFuzzing",    // fuzz workers
+		"runtime.goexit <- ",    // malformed/partial blocks
+		"os/signal.signal_recv", // signal handling, started lazily
+	} {
+		if strings.Contains(key, benign) {
+			return ""
+		}
+	}
+	if key == "" {
+		return ""
+	}
+	return key
+}
+
+// Diff returns the stacks in cur that base cannot account for, with
+// counts — the candidate leaks.
+func Diff(base, cur Snapshot) Snapshot {
+	out := make(Snapshot)
+	for k, n := range cur {
+		if extra := n - base[k]; extra > 0 {
+			out[k] = extra
+		}
+	}
+	return out
+}
+
+// settle polls until Diff(base, Take()) is empty or the timeout expires,
+// returning the final diff.
+func settle(base Snapshot, timeout time.Duration) Snapshot {
+	deadline := time.Now().Add(timeout)
+	for {
+		d := Diff(base, Take())
+		if len(d) == 0 || time.Now().After(deadline) {
+			return d
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Check snapshots the running goroutines and registers a cleanup that
+// fails the test if goroutines started after the snapshot are still
+// running once the test (and every cleanup registered after this call)
+// has finished. Call it before starting servers:
+//
+//	leak.Check(t)
+//	srv := startServer(t) // t.Cleanup(srv.Close) runs before the check
+func Check(t testing.TB) {
+	t.Helper()
+	base := Take()
+	t.Cleanup(func() {
+		leaked := settle(base, settleTimeout)
+		if len(leaked) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(leaked))
+		for k := range leaked {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\n  %dx %s", leaked[k], k)
+		}
+		t.Errorf("leaked %d goroutine stack(s) after test:%s", len(leaked), b.String())
+	})
+}

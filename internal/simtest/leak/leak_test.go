@@ -1,0 +1,92 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDiffDetectsLeakedGoroutine: a goroutine deliberately parked across
+// the snapshot must show up in the diff, and disappear once released.
+func TestDiffDetectsLeakedGoroutine(t *testing.T) {
+	base := Take()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	// Give the goroutine time to park so its stack is stable.
+	var leaked Snapshot
+	deadline := time.Now().Add(2 * time.Second)
+	for len(leaked) == 0 && time.Now().Before(deadline) {
+		leaked = Diff(base, Take())
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine never appeared in the diff")
+	}
+	found := false
+	for k := range leaked {
+		if strings.Contains(k, "leak.TestDiffDetectsLeakedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diff does not attribute the leak to this test: %v", leaked)
+	}
+	close(release)
+	<-done
+	if after := settle(base, settleTimeout); len(after) != 0 {
+		t.Errorf("diff still non-empty after goroutine exited: %v", after)
+	}
+}
+
+// TestNormalizeStripsNoise: ids, arguments, and file lines must not make
+// two identical parks compare different.
+func TestNormalizeStripsNoise(t *testing.T) {
+	a := "goroutine 7 [chan receive]:\nmain.worker(0xc0000b2000, 0x1)\n\t/src/main.go:10 +0x25\ncreated by main.start in goroutine 1\n\t/src/main.go:5 +0x11"
+	b := "goroutine 99 [chan receive, 2 minutes]:\nmain.worker(0xc0fff00000, 0x2)\n\t/src/main.go:10 +0x25\ncreated by main.start in goroutine 3\n\t/src/main.go:5 +0x11"
+	ka, kb := normalize(a), normalize(b)
+	if ka == "" || ka != kb {
+		t.Fatalf("normalize not id/arg-invariant:\n%q\n%q", ka, kb)
+	}
+	if strings.Contains(ka, "0xc000") || strings.Contains(ka, "/src/main.go") {
+		t.Errorf("normalize kept noise: %q", ka)
+	}
+}
+
+// TestNormalizeFiltersBenign: runner and signal goroutines never count.
+func TestNormalizeFiltersBenign(t *testing.T) {
+	blocks := []string{
+		"goroutine 1 [running]:\nruntime.Stack({0x0, 0x0}, 0x1)\n\t/go/src/runtime/mprof.go:1 +0x1",
+		"goroutine 2 [chan receive]:\ntesting.(*T).Run(0xc0, {0x1, 0x2}, 0x3)\n\t/go/src/testing/testing.go:1 +0x1",
+		"goroutine 3 [syscall]:\nos/signal.signal_recv()\n\t/go/src/runtime/sigqueue.go:1 +0x1",
+		"not a goroutine block at all",
+	}
+	for _, b := range blocks {
+		if key := normalize(b); key != "" {
+			t.Errorf("benign block normalized to %q, want filtered", key)
+		}
+	}
+}
+
+// TestCheckPassesCleanTest: Check on a test that leaks nothing must not
+// fail it (this test is its own fixture).
+func TestCheckPassesCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestDiffCounts: the multiset semantics — N extra identical goroutines
+// report count N.
+func TestDiffCounts(t *testing.T) {
+	base := Snapshot{"a": 1, "b": 2}
+	cur := Snapshot{"a": 3, "b": 2, "c": 1}
+	d := Diff(base, cur)
+	if d["a"] != 2 || d["c"] != 1 || len(d) != 2 {
+		t.Fatalf("Diff = %v, want a:2 c:1", d)
+	}
+}

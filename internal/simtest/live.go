@@ -1,0 +1,308 @@
+package simtest
+
+// Live scenarios run the real fs.Server/Node TCP stack (on loopback,
+// with faultnet chaos) instead of the simulator. Wall-clock timing here
+// is inherently nondeterministic, so the oracles are timing-independent:
+// whatever interleaving happened, typed errors only, and — after the
+// cluster heals — the server's metadata must agree with what the nodes
+// actually hold (the sharded map vs node-held per-disk metadata check).
+// The operation *plan* is still derived from the seed, so a failing seed
+// replays the same sequence of operations.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"eevfs/internal/disk"
+	"eevfs/internal/faultnet"
+	"eevfs/internal/fs"
+	"eevfs/internal/proto"
+	"eevfs/internal/rng"
+)
+
+// LiveScenario is one seeded chaos run against the real TCP stack.
+type LiveScenario struct {
+	Seed      uint64
+	Nodes     int // storage nodes (2..3)
+	Files     int // files created up front
+	Ops       int // randomized operations after the initial population
+	WritePct  int // probability an op overwrites instead of reading
+	LatencyMS int // faultnet latency injected on every node link
+	PrefetchK int // prefetch budget pushed before the op stream
+	KillNode  int // node index crashed mid-run and restarted (-1: none)
+}
+
+// GenerateLive derives a live scenario from a seed.
+func GenerateLive(seed uint64) LiveScenario {
+	src := rng.New(seed)
+	s := LiveScenario{
+		Seed:     seed,
+		Nodes:    2 + src.Intn(2),
+		Files:    3 + src.Intn(8),
+		Ops:      10 + src.Intn(21),
+		KillNode: -1,
+	}
+	if src.Float64() < 0.5 {
+		s.WritePct = 10 + src.Intn(40)
+	}
+	if src.Float64() < 0.5 {
+		s.LatencyMS = 1 + src.Intn(5)
+	}
+	s.PrefetchK = src.Intn(s.Files + 1)
+	if src.Float64() < 0.5 {
+		s.KillNode = src.Intn(s.Nodes)
+	}
+	return s
+}
+
+// liveTransport mirrors the chaos-test policy: aggressive timeouts so
+// every failure mode resolves quickly and typed.
+func liveTransport() proto.TransportConfig {
+	return proto.TransportConfig{
+		DialTimeout: 250 * time.Millisecond,
+		RTTimeout:   250 * time.Millisecond,
+		Retries:     1,
+		RetryBase:   5 * time.Millisecond,
+		RetryMax:    10 * time.Millisecond,
+		Seed:        7,
+	}
+}
+
+// typedError reports whether err is one of the failure modes the stack
+// is allowed to surface while a node is down: the unavailable/not-found
+// sentinels or a typed transport error. Anything else (hangs are caught
+// by the transport deadlines) is an invariant violation.
+func typedError(err error) bool {
+	var te *proto.TransportError
+	var re *proto.RemoteError
+	return errors.Is(err, fs.ErrNodeUnavailable) ||
+		errors.Is(err, fs.ErrFileNotFound) ||
+		errors.As(err, &te) || errors.As(err, &re)
+}
+
+// CheckLive runs one live scenario end to end and returns the first
+// invariant violation (nil: all held). It needs a scratch directory for
+// the node disk roots; the caller owns cleanup of tmpDir.
+func CheckLive(s LiveScenario, tmpDir string) error {
+	quiet := log.New(io.Discard, "", 0)
+	serverNet := faultnet.New(int64(s.Seed))
+	clientNet := faultnet.New(int64(s.Seed) + 1)
+	src := rng.New(s.Seed)
+
+	nodeCfg := func(i int, addr string) fs.NodeConfig {
+		root := fmt.Sprintf("%s/n%d", tmpDir, i)
+		return fs.NodeConfig{
+			Addr:             addr,
+			RootDir:          root,
+			DataDisks:        2,
+			DataModel:        disk.ModelType1,
+			BufferModel:      disk.ModelType1,
+			IdleThresholdSec: 5,
+			TimeScale:        2000,
+			InjectLatency:    true,
+			WriteBuffer:      s.WritePct > 0,
+			WriteTimeout:     time.Second,
+			Logger:           quiet,
+		}
+	}
+
+	nodes := make([]*fs.Node, s.Nodes)
+	var addrs []string
+	for i := range nodes {
+		if err := os.MkdirAll(fmt.Sprintf("%s/n%d", tmpDir, i), 0o755); err != nil {
+			return fmt.Errorf("live: mkdir: %w", err)
+		}
+		n, err := fs.StartNode(nodeCfg(i, "127.0.0.1:0"))
+		if err != nil {
+			return fmt.Errorf("live: start node %d: %w", i, err)
+		}
+		nodes[i] = n
+		addrs = append(addrs, n.Addr())
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+
+	if s.LatencyMS > 0 {
+		for _, a := range addrs {
+			f := faultnet.Fault{Latency: time.Duration(s.LatencyMS) * time.Millisecond}
+			serverNet.SetFault(a, f)
+			clientNet.SetFault(a, f)
+		}
+	}
+
+	srv, err := fs.StartServer(fs.ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NodeAddrs: addrs,
+		Logger:    quiet,
+		Dialer:    serverNet,
+		Transport: liveTransport(),
+		Health: fs.HealthConfig{
+			FailThreshold: 2,
+			ProbeInterval: 20 * time.Millisecond,
+		},
+		WriteTimeout: time.Second,
+	})
+	if err != nil {
+		return fmt.Errorf("live: start server: %w", err)
+	}
+	defer srv.Close()
+
+	cl, err := fs.DialConfig(srv.Addr(), fs.ClientConfig{Dialer: clientNet, Transport: liveTransport()})
+	if err != nil {
+		return fmt.Errorf("live: dial: %w", err)
+	}
+	defer cl.Close()
+
+	// Phase 1: populate. The cluster is healthy, so every create must
+	// succeed. acceptable tracks every content a later read may legally
+	// return: a write that fails with a typed error may still have landed
+	// on the node (the response, not the write, is what was lost), so
+	// both the old and the attempted content stay acceptable.
+	acceptable := make(map[string][][]byte, s.Files)
+	written := make(map[string]bool, s.Files)
+	names := make([]string, 0, s.Files)
+	for i := 0; i < s.Files; i++ {
+		name := fmt.Sprintf("live-%d", i)
+		data := bytes.Repeat([]byte{byte('a' + i%26)}, 200+src.Intn(4000))
+		if err := cl.Create(name, data); err != nil {
+			return fmt.Errorf("live: create %s on healthy cluster: %w", name, err)
+		}
+		acceptable[name] = [][]byte{data}
+		names = append(names, name)
+	}
+	if s.PrefetchK > 0 {
+		if _, err := cl.Prefetch(s.PrefetchK); err != nil {
+			return fmt.Errorf("live: prefetch on healthy cluster: %w", err)
+		}
+	}
+
+	// Phase 2: randomized reads/writes, with an optional mid-run crash.
+	// While a node is down, operations touching it may fail — but only
+	// with typed errors, and writes that fail must not corrupt the
+	// surviving copy of the namespace.
+	killAt := -1
+	if s.KillNode >= 0 {
+		killAt = s.Ops / 3
+	}
+	for op := 0; op < s.Ops; op++ {
+		if op == killAt {
+			nodes[s.KillNode].Close()
+		}
+		name := names[src.Intn(len(names))]
+		if s.WritePct > 0 && int(src.Intn(100)) < s.WritePct {
+			data := bytes.Repeat([]byte{byte('A' + op%26)}, 200+src.Intn(4000))
+			_, err := cl.Write(name, data)
+			written[name] = true
+			switch {
+			case err == nil:
+				// The write definitely landed: it is now the only legal
+				// content.
+				acceptable[name] = [][]byte{data}
+			case typedError(err):
+				// The write may or may not have landed; both contents
+				// stay legal. Anything in between would be torn.
+				acceptable[name] = append(acceptable[name], data)
+			default:
+				return fmt.Errorf("live: write %s failed untyped: %w", name, err)
+			}
+		} else {
+			data, _, err := cl.Read(name)
+			switch {
+			case err == nil:
+				if !anyEqual(data, acceptable[name]) {
+					return fmt.Errorf("live: read %s returned %d bytes matching no acceptable content (torn or corrupt copy)", name, len(data))
+				}
+			case typedError(err):
+			default:
+				return fmt.Errorf("live: read %s failed untyped: %w", name, err)
+			}
+		}
+	}
+
+	// Phase 3: heal (restart the crashed node on its old address with
+	// its old disk roots) and wait for the prober to readmit it.
+	if s.KillNode >= 0 && killAt >= 0 {
+		restarted, err := fs.StartNode(nodeCfg(s.KillNode, addrs[s.KillNode]))
+		if err != nil {
+			return fmt.Errorf("live: restart node %d: %w", s.KillNode, err)
+		}
+		nodes[s.KillNode] = restarted
+		if err := waitHealthy(srv, s.KillNode, true, 10*time.Second); err != nil {
+			return err
+		}
+	}
+
+	// Oracle: metadata consistency. Every file the server's sharded map
+	// claims must exist in the owning node's local metadata, the node's
+	// recorded size must match what an end-to-end read returns, and the
+	// content must be one the operation history can explain. The server's
+	// own size is authoritative only for never-written files: data writes
+	// go client -> node directly, so the server keeps the create-time
+	// size by design.
+	infos := srv.Files()
+	if len(infos) != len(names) {
+		return fmt.Errorf("live: server metadata has %d files, created %d", len(infos), len(names))
+	}
+	nodeMeta := make([]map[int]int64, len(nodes))
+	for i, n := range nodes {
+		nodeMeta[i] = make(map[int]int64)
+		for _, e := range n.Files() {
+			nodeMeta[i][e.ID] = e.Size
+		}
+	}
+	for _, fi := range infos {
+		if fi.Node < 0 || fi.Node >= len(nodes) {
+			return fmt.Errorf("live: server places %s on node %d of %d", fi.Name, fi.Node, len(nodes))
+		}
+		size, ok := nodeMeta[fi.Node][fi.ID]
+		if !ok {
+			return fmt.Errorf("live: server says %s (id %d) lives on node %d, but the node has no such entry", fi.Name, fi.ID, fi.Node)
+		}
+		if !written[fi.Name] && size != fi.Size {
+			return fmt.Errorf("live: never-written %s size disagrees: server %d, node %d", fi.Name, fi.Size, size)
+		}
+		data, _, err := cl.Read(fi.Name)
+		if err != nil {
+			return fmt.Errorf("live: read %s after heal: %w", fi.Name, err)
+		}
+		if int64(len(data)) != size {
+			return fmt.Errorf("live: read %s returned %d bytes, node metadata says %d", fi.Name, len(data), size)
+		}
+		if !anyEqual(data, acceptable[fi.Name]) {
+			return fmt.Errorf("live: %s final content (%d bytes) matches no acceptable content", fi.Name, len(data))
+		}
+	}
+	return nil
+}
+
+// anyEqual reports whether data matches one of the candidates.
+func anyEqual(data []byte, candidates [][]byte) bool {
+	for _, c := range candidates {
+		if bytes.Equal(data, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitHealthy polls the server's health view.
+func waitHealthy(srv *fs.Server, idx int, want bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if srv.Healthy()[idx] == want {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("live: node %d never became healthy=%v", idx, want)
+}

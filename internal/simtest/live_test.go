@@ -1,0 +1,44 @@
+package simtest
+
+import (
+	"testing"
+
+	"eevfs/internal/simtest/leak"
+)
+
+// TestLiveScenario runs one seeded chaos scenario against the real
+// fs.Server/Node TCP stack and checks the metadata-consistency oracle.
+// Seed 1 mixes writes and injected latency; seed 20 additionally kills
+// and restarts a node mid-run, exercising the degraded path.
+func TestLiveScenario(t *testing.T) {
+	leak.Check(t)
+	seeds := []uint64{1, 20}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		s := GenerateLive(seed)
+		t.Logf("live seed=%d nodes=%d files=%d ops=%d writes=%d%% latency=%dms k=%d kill=%d",
+			s.Seed, s.Nodes, s.Files, s.Ops, s.WritePct, s.LatencyMS, s.PrefetchK, s.KillNode)
+		if err := CheckLive(s, t.TempDir()); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestGenerateLiveDeterministic: the op plan must derive from the seed.
+func TestGenerateLiveDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		seed := uint64(500 + i)
+		a, b := GenerateLive(seed), GenerateLive(seed)
+		if a != b {
+			t.Fatalf("seed %d: GenerateLive is not deterministic: %+v vs %+v", seed, a, b)
+		}
+		if a.Nodes < 2 || a.Files < 3 || a.Ops < 10 {
+			t.Fatalf("seed %d: degenerate live scenario %+v", seed, a)
+		}
+		if a.KillNode >= a.Nodes {
+			t.Fatalf("seed %d: kill target %d out of range", seed, a.KillNode)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package simtest
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"eevfs/internal/disk"
+	"eevfs/internal/telemetry"
+	"eevfs/internal/trace"
+)
+
+// Oracle is one invariant checker over a run's artifacts. Oracles must be
+// sound for every valid scenario the generator can produce: a failure
+// always means a real bug (in the simulator, the accounting, or the
+// oracle itself), never "an unlucky seed".
+type Oracle struct {
+	Name  string
+	Check func(a *Artifacts) *Failure
+}
+
+// Oracles is the invariant catalogue, in checking order. Order matters
+// for failure attribution: the power-state machine is checked first so a
+// forged illegal service is reported as such, not as the transition-count
+// mismatch it also causes downstream. To add an oracle, append here and
+// document it in DESIGN.md section 14.
+var Oracles = []Oracle{
+	{"power-legal", checkPowerLegal},
+	{"transition-counts", checkTransitionCounts},
+	{"energy-conservation", checkEnergyConservation},
+	{"request-accounting", checkRequestAccounting},
+	{"causality", checkCausality},
+	{"covered-quiesce", checkCoveredQuiesce},
+	{"npf-static", checkNPFStatic},
+	{"pf-dominates-npf", checkPFDominatesNPF},
+}
+
+const eps = 1e-9
+
+// closeTo compares accumulated floating-point quantities: the simulator
+// integrates energy over thousands of tiny dwell increments, so sums are
+// compared with a relative tolerance instead of exact equality.
+func closeTo(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-6*scale
+}
+
+// stateChange is one decoded power-state journal entry.
+type stateChange struct {
+	t     float64
+	state string
+}
+
+// serviceSpan is one decoded disk-service journal entry.
+type serviceSpan struct {
+	t, dur float64
+	op     string
+}
+
+// byDisk splits the journal into per-disk state timelines and service
+// spans, preserving append order (the tiebreak for same-instant events).
+func byDisk(events []telemetry.Event) (states map[string][]stateChange, services map[string][]serviceSpan) {
+	states = make(map[string][]stateChange)
+	services = make(map[string][]serviceSpan)
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindState:
+			states[e.Subject] = append(states[e.Subject], stateChange{t: e.TimeS, state: e.Detail})
+		case telemetry.KindService:
+			services[e.Subject] = append(services[e.Subject], serviceSpan{t: e.TimeS, dur: e.DurS, op: e.Detail})
+		}
+	}
+	return states, services
+}
+
+// legalNext is the disk power-state machine's edge set (disk.Disk panics
+// on anything else; the oracle re-derives it from the journal so a
+// corrupted timeline is caught even if the in-memory machine was
+// bypassed).
+var legalNext = map[string]map[string]bool{
+	"idle":          {"active": true, "spinning-down": true},
+	"active":        {"idle": true},
+	"spinning-down": {"standby": true},
+	"standby":       {"spinning-up": true},
+	"spinning-up":   {"idle": true},
+}
+
+// checkPowerLegal verifies each disk's journaled timeline against the
+// power-state machine: timelines start idle at t=0, every transition
+// follows a legal edge with nondecreasing times, and every service runs
+// entirely inside an Active dwell — in particular, no disk ever services
+// a read while standby.
+func checkPowerLegal(a *Artifacts) *Failure {
+	states, services := byDisk(a.Events)
+	for name, tl := range states {
+		if tl[0].state != "idle" || tl[0].t != 0 {
+			return failf("power-legal", "disk %s: timeline starts %q at t=%g, want idle at 0", name, tl[0].state, tl[0].t)
+		}
+		for i := 1; i < len(tl); i++ {
+			prev, cur := tl[i-1], tl[i]
+			if cur.t < prev.t-eps {
+				return failf("power-legal", "disk %s: state %q at t=%g precedes %q at t=%g", name, cur.state, cur.t, prev.state, prev.t)
+			}
+			if !legalNext[prev.state][cur.state] {
+				return failf("power-legal", "disk %s: illegal transition %s -> %s at t=%g", name, prev.state, cur.state, cur.t)
+			}
+		}
+	}
+	for name, spans := range services {
+		tl := states[name]
+		if len(tl) == 0 {
+			return failf("power-legal", "disk %s: serviced requests but journaled no states", name)
+		}
+		for _, sp := range spans {
+			// State in effect at service start: the last change at or
+			// before t (append order breaks same-instant ties).
+			state := ""
+			for _, ch := range tl {
+				if ch.t <= sp.t+eps {
+					state = ch.state
+				}
+			}
+			if state != "active" {
+				return failf("power-legal", "disk %s: service %q at t=%g in state %s", name, sp.op, sp.t, state)
+			}
+			// No transition may fire strictly inside the service span:
+			// the disk stays Active until EndService.
+			for _, ch := range tl {
+				if ch.t > sp.t+eps && ch.t < sp.t+sp.dur-eps {
+					return failf("power-legal", "disk %s: state %q at t=%g interrupts service [%g, %g]",
+						name, ch.state, ch.t, sp.t, sp.t+sp.dur)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkTransitionCounts ties three independent transition ledgers
+// together: the journal's state events, the per-disk stats, and the
+// Result totals must all agree (the paper's Fig. 4 metric).
+func checkTransitionCounts(a *Artifacts) *Failure {
+	jour := &telemetry.Journal{}
+	for _, e := range a.Events {
+		jour.Append(e)
+	}
+	if got := jour.CountStates("spinning-up"); got != a.Result.SpinUps {
+		return failf("transition-counts", "journal has %d spin-ups, Result says %d", got, a.Result.SpinUps)
+	}
+	if got := jour.CountStates("spinning-down"); got != a.Result.SpinDowns {
+		return failf("transition-counts", "journal has %d spin-downs, Result says %d", got, a.Result.SpinDowns)
+	}
+	if a.Result.Transitions != a.Result.SpinUps+a.Result.SpinDowns {
+		return failf("transition-counts", "Transitions=%d != SpinUps+SpinDowns=%d",
+			a.Result.Transitions, a.Result.SpinUps+a.Result.SpinDowns)
+	}
+	ups, downs := 0, 0
+	for _, st := range a.Result.PerDisk {
+		ups += st.SpinUps
+		downs += st.SpinDowns
+	}
+	if ups != a.Result.SpinUps || downs != a.Result.SpinDowns {
+		return failf("transition-counts", "per-disk stats sum to %d/%d spin-ups/downs, Result says %d/%d",
+			ups, downs, a.Result.SpinUps, a.Result.SpinDowns)
+	}
+	return nil
+}
+
+// diskModel resolves a journal/stats disk name ("node<i>/data<j>" or
+// "node<i>/buffer[<j>]") to its drive model via the scenario's
+// in-service node list.
+func diskModel(s Scenario, name string) (disk.Model, error) {
+	rest, ok := strings.CutPrefix(name, "node")
+	if !ok {
+		return disk.Model{}, fmt.Errorf("unrecognized disk name %q", name)
+	}
+	idxStr, kind, ok := strings.Cut(rest, "/")
+	if !ok {
+		return disk.Model{}, fmt.Errorf("unrecognized disk name %q", name)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return disk.Model{}, fmt.Errorf("unrecognized disk name %q", name)
+	}
+	up := s.UpNodeConfigs()
+	if idx < 0 || idx >= len(up) {
+		return disk.Model{}, fmt.Errorf("disk %q names node %d of %d in service", name, idx, len(up))
+	}
+	if strings.HasPrefix(kind, "buffer") {
+		return up[idx].BufferModel, nil
+	}
+	return up[idx].DataModel, nil
+}
+
+// checkEnergyConservation verifies the energy ledger bottom-up: each
+// disk's Joules must equal its state dwell times integrated against its
+// model's state powers, every disk's dwell must span the whole makespan,
+// the per-disk Joules must sum to DiskEnergyJ, and the Result total must
+// decompose into base + disk energy with the base drawn by exactly the
+// in-service nodes.
+func checkEnergyConservation(a *Artifacts) *Failure {
+	s, r := a.Scenario, a.Result
+	upCount := len(s.UpNodeConfigs())
+	if r.UpNodes != upCount {
+		return failf("energy-conservation", "Result.UpNodes=%d, scenario has %d in service", r.UpNodes, upCount)
+	}
+	wantDisks := upCount * (s.DataDisks + s.BufferDisks)
+	if len(r.PerDisk) != wantDisks {
+		return failf("energy-conservation", "PerDisk has %d disks, want %d", len(r.PerDisk), wantDisks)
+	}
+	var sum float64
+	for _, st := range r.PerDisk {
+		m, err := diskModel(s, st.Name)
+		if err != nil {
+			return failf("energy-conservation", "%v", err)
+		}
+		var dwell, integrated float64
+		for ps := disk.Active; ps < disk.PowerState(len(st.TimeInState)); ps++ {
+			dwell += st.TimeInState[ps]
+			integrated += st.TimeInState[ps] * m.StatePower(ps)
+		}
+		if !closeTo(dwell, r.MakespanSec) {
+			return failf("energy-conservation", "disk %s: state dwells sum to %g s over a %g s makespan", st.Name, dwell, r.MakespanSec)
+		}
+		if !closeTo(integrated, st.EnergyJ) {
+			return failf("energy-conservation", "disk %s: dwell*power integrates to %g J, stats say %g J", st.Name, integrated, st.EnergyJ)
+		}
+		sum += st.EnergyJ
+	}
+	if !closeTo(sum, r.DiskEnergyJ) {
+		return failf("energy-conservation", "per-disk energies sum to %g J, DiskEnergyJ=%g", sum, r.DiskEnergyJ)
+	}
+	wantBase := 55 * r.MakespanSec * float64(upCount)
+	if !closeTo(r.BaseEnergyJ, wantBase) {
+		return failf("energy-conservation", "BaseEnergyJ=%g, want 55W * %g s * %d nodes = %g", r.BaseEnergyJ, r.MakespanSec, upCount, wantBase)
+	}
+	if !closeTo(r.TotalEnergyJ, r.BaseEnergyJ+r.DiskEnergyJ) {
+		return failf("energy-conservation", "TotalEnergyJ=%g != base %g + disk %g", r.TotalEnergyJ, r.BaseEnergyJ, r.DiskEnergyJ)
+	}
+	if r.PrefetchEnergyJ > r.DiskEnergyJ+eps {
+		return failf("energy-conservation", "PrefetchEnergyJ=%g exceeds DiskEnergyJ=%g", r.PrefetchEnergyJ, r.DiskEnergyJ)
+	}
+	return nil
+}
+
+// checkRequestAccounting ties the request counters together: every trace
+// record is replayed exactly once, every read is a buffer hit or a miss,
+// every write is buffered or direct, and the response summaries saw every
+// request.
+func checkRequestAccounting(a *Artifacts) *Failure {
+	r := a.Result
+	reads, writes := 0, 0
+	for _, rec := range a.Trace.Records {
+		if rec.Op == trace.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if r.Requests != len(a.Trace.Records) {
+		return failf("request-accounting", "Requests=%d, trace has %d records", r.Requests, len(a.Trace.Records))
+	}
+	if got := r.BufferHits + r.BufferMisses; got != int64(reads) {
+		return failf("request-accounting", "hits %d + misses %d = %d, trace has %d reads", r.BufferHits, r.BufferMisses, got, reads)
+	}
+	if got := r.BufferedWrites + r.DirectWrites; got != int64(writes) {
+		return failf("request-accounting", "buffered %d + direct %d = %d, trace has %d writes", r.BufferedWrites, r.DirectWrites, got, writes)
+	}
+	if r.Response.N != r.Requests {
+		return failf("request-accounting", "response summary saw %d samples for %d requests", r.Response.N, r.Requests)
+	}
+	if r.ReadResponse.N != reads || r.WriteResponse.N != writes {
+		return failf("request-accounting", "read/write summaries saw %d/%d samples for %d/%d ops",
+			r.ReadResponse.N, r.WriteResponse.N, reads, writes)
+	}
+	nreq := 0
+	for _, e := range a.Events {
+		if e.Kind == telemetry.KindRequest {
+			nreq++
+		}
+	}
+	if nreq != r.Requests {
+		return failf("request-accounting", "journal has %d request events for %d requests", nreq, r.Requests)
+	}
+	s := a.Scenario
+	if !s.Prefetch && r.PrefetchedFiles != 0 {
+		return failf("request-accounting", "PrefetchedFiles=%d without Prefetch", r.PrefetchedFiles)
+	}
+	if s.Prefetch && s.ReprefetchEvery == 0 && r.PrefetchedFiles > s.PrefetchCount {
+		return failf("request-accounting", "PrefetchedFiles=%d exceeds budget K=%d", r.PrefetchedFiles, s.PrefetchCount)
+	}
+	return nil
+}
+
+// checkCausality verifies response-time physics: no response can beat
+// the control-path latency, nothing completes after the makespan, queue
+// waits and service durations are nonnegative, and the replay cannot
+// begin before the prefetch phase ends.
+func checkCausality(a *Artifacts) *Failure {
+	r := a.Result
+	route := a.Scenario.RouteLatencyMS / 1000
+	if r.PrefetchEndSec < 0 || r.PrefetchEndSec > r.MakespanSec+eps {
+		return failf("causality", "PrefetchEndSec=%g outside [0, makespan %g]", r.PrefetchEndSec, r.MakespanSec)
+	}
+	for _, e := range a.Events {
+		switch e.Kind {
+		case telemetry.KindRequest:
+			if e.DurS < route-eps {
+				return failf("causality", "request %s at t=%g responded in %g s, below the %g s route latency", e.Subject, e.TimeS, e.DurS, route)
+			}
+			if e.TimeS < r.PrefetchEndSec-eps {
+				return failf("causality", "request %s sent at t=%g, before the prefetch phase ended at %g", e.Subject, e.TimeS, r.PrefetchEndSec)
+			}
+			if e.TimeS+e.DurS > r.MakespanSec+eps {
+				return failf("causality", "request %s completes at t=%g, after the %g s makespan", e.Subject, e.TimeS+e.DurS, r.MakespanSec)
+			}
+		case telemetry.KindService:
+			if e.WaitS < -eps || e.DurS < -eps {
+				return failf("causality", "service on %s at t=%g has negative wait (%g) or duration (%g)", e.Subject, e.TimeS, e.WaitS, e.DurS)
+			}
+			if e.TimeS+e.DurS > r.MakespanSec+eps {
+				return failf("causality", "service on %s completes at t=%g, after the %g s makespan", e.Subject, e.TimeS+e.DurS, r.MakespanSec)
+			}
+		}
+	}
+	if r.Response.N > 0 {
+		if r.Response.Min < route-eps {
+			return failf("causality", "min response %g s below route latency %g s", r.Response.Min, route)
+		}
+		if r.Response.Max > r.MakespanSec+eps {
+			return failf("causality", "max response %g s exceeds makespan %g s", r.Response.Max, r.MakespanSec)
+		}
+	}
+	return nil
+}
+
+// checkCoveredQuiesce is the paper's Section VI-D claim as an invariant:
+// on a fully-covered read-only workload (every read a buffer hit, static
+// prefetch), the data disks do no work at all after the prefetch phase —
+// "all data disks sleep through the entire trace".
+func checkCoveredQuiesce(a *Artifacts) *Failure {
+	s, r := a.Scenario, a.Result
+	if !s.Prefetch || s.MAID || s.ReprefetchEvery != 0 || r.BufferMisses != 0 {
+		return nil
+	}
+	for _, rec := range a.Trace.Records {
+		if rec.Op == trace.Write {
+			return nil
+		}
+	}
+	for _, e := range a.Events {
+		if e.Kind == telemetry.KindService && strings.Contains(e.Subject, "/data") && e.TimeS > r.PrefetchEndSec+eps {
+			return failf("covered-quiesce", "data disk %s serviced %q at t=%g after the prefetch phase ended at %g on a fully-covered workload",
+				e.Subject, e.Detail, e.TimeS, r.PrefetchEndSec)
+		}
+	}
+	return nil
+}
+
+// checkNPFStatic verifies the NPF baseline's defining property: with
+// prefetching and power management off, no disk ever changes power state
+// and the buffer disks serve nothing.
+func checkNPFStatic(a *Artifacts) *Failure {
+	n := a.NPF
+	if n.Transitions != 0 || n.SpinUps != 0 || n.SpinDowns != 0 {
+		return failf("npf-static", "NPF arm transitioned %d times (up %d, down %d)", n.Transitions, n.SpinUps, n.SpinDowns)
+	}
+	if n.BufferHits != 0 {
+		return failf("npf-static", "NPF arm served %d buffer hits", n.BufferHits)
+	}
+	if n.PrefetchedFiles != 0 || n.PrefetchEndSec != 0 || n.PrefetchEnergyJ != 0 {
+		return failf("npf-static", "NPF arm ran a prefetch phase (%d files, end %g s, %g J)",
+			n.PrefetchedFiles, n.PrefetchEndSec, n.PrefetchEnergyJ)
+	}
+	return nil
+}
+
+// pfRegime reports whether the scenario sits in the paper's fully-covered
+// regime, where the PF-dominates-NPF claim is unconditional: read-only,
+// static prefetch, paced arrivals (>= 500 ms), a long enough trace for
+// standby dwell to amortize the transitions, and modest file sizes so the
+// prefetch phase stays cheap. The generator steers ~20 % of scenarios
+// into this regime so the oracle keeps earning its place in the corpus.
+func pfRegime(s Scenario) bool {
+	return s.Prefetch && !s.MAID && s.ReprefetchEvery == 0 &&
+		s.WritePct == 0 && s.InterArrivalMS >= 500 &&
+		s.Requests >= 150 && s.MeanSizeKB <= 2048
+}
+
+// checkPFDominatesNPF is the paper's headline claim as an invariant:
+// in the fully-covered regime, prefetching must not cost energy versus
+// the NPF baseline (Fig. 3(b), MU <= 100: maximum savings at full
+// coverage).
+func checkPFDominatesNPF(a *Artifacts) *Failure {
+	if !pfRegime(a.Scenario) || a.Result.BufferMisses != 0 {
+		return nil
+	}
+	if a.Result.TotalEnergyJ > a.NPF.TotalEnergyJ {
+		return failf("pf-dominates-npf",
+			"fully-covered PF run used %g J, NPF baseline %g J (savings %.2f%%)",
+			a.Result.TotalEnergyJ, a.NPF.TotalEnergyJ, a.Result.EnergySavingsVs(a.NPF))
+	}
+	return nil
+}
+
+// DominanceEligible reports whether the scenario would exercise the
+// PF-dominates-NPF oracle (before knowing the miss count). The corpus
+// test uses it to assert the oracle is not vacuously green.
+func DominanceEligible(s Scenario) bool { return pfRegime(s) }

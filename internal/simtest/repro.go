@@ -1,0 +1,175 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// reproVersion tags the textual scenario encoding so a stale repro string
+// fails loudly instead of replaying the wrong scenario.
+const reproVersion = "v1"
+
+// fieldCodec binds one Scenario field to its repro key.
+type fieldCodec struct {
+	key string
+	get func(*Scenario) string
+	set func(*Scenario, string) error
+}
+
+func intField(key string, p func(*Scenario) *int) fieldCodec {
+	return fieldCodec{
+		key: key,
+		get: func(s *Scenario) string { return strconv.Itoa(*p(s)) },
+		set: func(s *Scenario, v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			*p(s) = n
+			return nil
+		},
+	}
+}
+
+func boolField(key string, p func(*Scenario) *bool) fieldCodec {
+	return fieldCodec{
+		key: key,
+		get: func(s *Scenario) string {
+			if *p(s) {
+				return "1"
+			}
+			return "0"
+		},
+		set: func(s *Scenario, v string) error {
+			switch v {
+			case "0":
+				*p(s) = false
+			case "1":
+				*p(s) = true
+			default:
+				return fmt.Errorf("bad bool %q", v)
+			}
+			return nil
+		},
+	}
+}
+
+func floatField(key string, p func(*Scenario) *float64) fieldCodec {
+	return fieldCodec{
+		key: key,
+		// 'g'/-1 prints the shortest representation that parses back to
+		// the same float64, so encode/decode round-trips exactly.
+		get: func(s *Scenario) string { return strconv.FormatFloat(*p(s), 'g', -1, 64) },
+		set: func(s *Scenario, v string) error {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return err
+			}
+			*p(s) = f
+			return nil
+		},
+	}
+}
+
+// codecs lists every Scenario field in encoding order. Adding a field
+// here is all a new scenario dimension needs to become replayable.
+var codecs = []fieldCodec{
+	{
+		key: "seed",
+		get: func(s *Scenario) string { return strconv.FormatUint(s.Seed, 10) },
+		set: func(s *Scenario, v string) error {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return err
+			}
+			s.Seed = n
+			return nil
+		},
+	},
+	intField("nodes", func(s *Scenario) *int { return &s.NodeCount }),
+	intField("t2", func(s *Scenario) *int { return &s.Type2Count }),
+	intField("dd", func(s *Scenario) *int { return &s.DataDisks }),
+	intField("bd", func(s *Scenario) *int { return &s.BufferDisks }),
+	intField("down", func(s *Scenario) *int { return &s.DownNodes }),
+	boolField("pf", func(s *Scenario) *bool { return &s.Prefetch }),
+	intField("k", func(s *Scenario) *int { return &s.PrefetchCount }),
+	boolField("hints", func(s *Scenario) *bool { return &s.Hints }),
+	boolField("prewake", func(s *Scenario) *bool { return &s.Prewake }),
+	boolField("dpm", func(s *Scenario) *bool { return &s.DPMWithoutPrefetch }),
+	boolField("wb", func(s *Scenario) *bool { return &s.WriteBuffer }),
+	boolField("maid", func(s *Scenario) *bool { return &s.MAID }),
+	boolField("pdc", func(s *Scenario) *bool { return &s.Concentrate }),
+	intField("stripekb", func(s *Scenario) *int { return &s.StripeChunkKB }),
+	intField("repref", func(s *Scenario) *int { return &s.ReprefetchEvery }),
+	floatField("idle", func(s *Scenario) *float64 { return &s.IdleThresholdSec }),
+	intField("bufmb", func(s *Scenario) *int { return &s.BufferCapMB }),
+	floatField("routems", func(s *Scenario) *float64 { return &s.RouteLatencyMS }),
+	intField("files", func(s *Scenario) *int { return &s.Files }),
+	intField("reqs", func(s *Scenario) *int { return &s.Requests }),
+	intField("sizekb", func(s *Scenario) *int { return &s.MeanSizeKB }),
+	intField("spread", func(s *Scenario) *int { return &s.SizeSpreadPct }),
+	floatField("mu", func(s *Scenario) *float64 { return &s.MU }),
+	floatField("delayms", func(s *Scenario) *float64 { return &s.InterArrivalMS }),
+	intField("writes", func(s *Scenario) *int { return &s.WritePct }),
+	{
+		key: "inject",
+		get: func(s *Scenario) string { return s.Inject },
+		set: func(s *Scenario, v string) error { s.Inject = v; return nil },
+	},
+}
+
+// Encode serializes the scenario as a compact, shell-safe string:
+// "v1,seed=42,nodes=3,...". Zero-valued fields are elided.
+func (s Scenario) Encode() string {
+	parts := []string{reproVersion}
+	for _, c := range codecs {
+		if v := c.get(&s); v != "" && v != "0" {
+			parts = append(parts, c.key+"="+v)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// DecodeScenario parses a string produced by Encode.
+func DecodeScenario(repro string) (Scenario, error) {
+	parts := strings.Split(repro, ",")
+	if len(parts) == 0 || parts[0] != reproVersion {
+		return Scenario{}, fmt.Errorf("simtest: repro string is not %s-versioned: %q", reproVersion, repro)
+	}
+	byKey := make(map[string]fieldCodec, len(codecs))
+	for _, c := range codecs {
+		byKey[c.key] = c
+	}
+	var s Scenario
+	for _, p := range parts[1:] {
+		if p == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(p, "=")
+		c, known := byKey[k]
+		if !ok || !known {
+			return Scenario{}, fmt.Errorf("simtest: bad repro field %q", p)
+		}
+		if err := c.set(&s, v); err != nil {
+			return Scenario{}, fmt.Errorf("simtest: repro field %q: %w", p, err)
+		}
+	}
+	return s, nil
+}
+
+// ReproCommand renders the one-line replay command printed on failures.
+func ReproCommand(s Scenario) string {
+	return fmt.Sprintf("eevfssim -seed=%d -repro='%s'", s.Seed, s.Encode())
+}
+
+// sortedKeys is shared test/debug plumbing: the known repro field keys.
+func sortedKeys() []string {
+	keys := make([]string, 0, len(codecs))
+	for _, c := range codecs {
+		keys = append(keys, c.key)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,248 @@
+// Package simtest is the deterministic simulation-testing (DST) harness:
+// it generates randomized cluster scenarios from a seed, runs them through
+// the discrete-event simulator (and, for live scenarios, the real
+// fs.Server/Node TCP stack), checks a library of invariant oracles against
+// the results, and — when an oracle fails — shrinks the scenario to a
+// minimal reproducer that replays from a one-line command.
+//
+// The paper's claims (Section VI) are universally quantified: energy
+// totals, transition counts, and response times must stay consistent for
+// *any* mix of MU, inter-arrival delay, prefetch count, and faults. Hand
+// written tests pin a handful of points in that space; this harness
+// searches it mechanically.
+//
+// Everything on the simulator path is wall-clock free: a Scenario is a
+// pure value, the workload is derived from Scenario.Seed, and the
+// simulator runs on simtime — so a seed replays bit-identically, forever
+// (enforced by the determinism oracle and wallclock_test.go).
+package simtest
+
+import (
+	"math"
+
+	"eevfs/internal/cluster"
+	"eevfs/internal/disk"
+	"eevfs/internal/rng"
+	"eevfs/internal/workload"
+)
+
+// Scenario is one fully-specified simulated deployment + workload. It is
+// a plain value: two equal Scenarios produce bit-identical runs. The
+// fields use integral units (KB, MB, ms, percent) where possible so the
+// textual repro encoding round-trips exactly.
+type Scenario struct {
+	// Seed is the generator seed: it determined every field below and
+	// also seeds the workload. After shrinking, the fields no longer
+	// match Generate(Seed) — the repro string carries them explicitly.
+	Seed uint64
+
+	// Cluster shape.
+	NodeCount   int // storage nodes
+	Type2Count  int // trailing nodes that use Type 2 links/disks (Table I)
+	DataDisks   int // data disks per node (uniform, as the sim requires)
+	BufferDisks int // buffer disks per node
+	DownNodes   int // leading nodes marked out of service for the run
+
+	// Policy switches (cluster.Config mirror).
+	Prefetch           bool
+	PrefetchCount      int
+	Hints              bool
+	Prewake            bool
+	DPMWithoutPrefetch bool
+	WriteBuffer        bool
+	MAID               bool
+	Concentrate        bool
+	StripeChunkKB      int
+	ReprefetchEvery    int
+	IdleThresholdSec   float64
+	BufferCapMB        int // 0 = drive-capacity bound
+	RouteLatencyMS     float64
+
+	// Workload (workload.SyntheticConfig mirror).
+	Files          int
+	Requests       int
+	MeanSizeKB     int
+	SizeSpreadPct  int
+	MU             float64
+	InterArrivalMS float64
+	WritePct       int
+
+	// Inject names a test-only invariant breaker the harness applies to
+	// the run's artifacts before the oracles see them (see harness.go).
+	// It exists to prove the oracle+shrinker pipeline actually catches
+	// and minimizes violations; "" (the default) runs clean.
+	Inject string
+}
+
+// Test-only invariant breakers accepted in Scenario.Inject.
+const (
+	// InjectReadStandby adds a phantom disk to the journal whose
+	// timeline legally spins down to standby and then services a read
+	// without waking — the canonical power-state violation.
+	InjectReadStandby = "read-standby"
+	// InjectEnergySkew adds a joule to Result.DiskEnergyJ without
+	// touching the per-disk stats, breaking energy conservation.
+	InjectEnergySkew = "energy-skew"
+)
+
+// Generate derives a scenario from a seed. Every generated scenario is
+// valid by construction (Valid() == nil): the generator owns the
+// mutual-exclusion rules of cluster.Config (MAID vs Prefetch, reprefetch
+// vs hints, ...) so the random walk never wanders outside the legal
+// configuration space.
+func Generate(seed uint64) Scenario {
+	src := rng.New(seed)
+	s := Scenario{Seed: seed}
+
+	// Shape: small clusters keep each run in the low milliseconds while
+	// still covering heterogeneity, multiple spindles, and dead nodes.
+	s.NodeCount = 1 + src.Intn(6)
+	s.Type2Count = src.Intn(s.NodeCount + 1)
+	s.DataDisks = 1 + src.Intn(3)
+	s.BufferDisks = 1 + src.Intn(2)
+	if s.NodeCount > 1 && src.Float64() < 0.2 {
+		s.DownNodes = 1 + src.Intn(s.NodeCount-1)
+	}
+	s.IdleThresholdSec = []float64{1, 2, 5, 10}[src.Intn(4)]
+	s.RouteLatencyMS = float64(1+src.Intn(5)) / 2 // 0.5..2.5 ms
+
+	// Policy family: mostly PF (the system under test), with MAID and
+	// the DPM/NPF baselines mixed in.
+	switch p := src.Float64(); {
+	case p < 0.70:
+		s.Prefetch = true
+	case p < 0.80:
+		s.MAID = true
+	default:
+		s.DPMWithoutPrefetch = src.Float64() < 0.5
+	}
+	if s.Prefetch {
+		s.PrefetchCount = 1 + src.Intn(120)
+		if src.Float64() < 0.25 {
+			s.ReprefetchEvery = 10 + src.Intn(60)
+		} else {
+			s.Hints = src.Float64() < 0.6
+			s.Prewake = s.Hints && src.Float64() < 0.4
+		}
+		s.WriteBuffer = src.Float64() < 0.35
+	}
+	s.Concentrate = src.Float64() < 0.15
+	if src.Float64() < 0.25 {
+		s.StripeChunkKB = []int{256, 1024, 4096}[src.Intn(3)]
+	}
+	if src.Float64() < 0.3 {
+		s.BufferCapMB = 64 + src.Intn(512)
+	}
+
+	// Workload: Table II ranges, scaled down ~5x to keep runs quick.
+	s.Files = 10 + src.Intn(291)
+	s.Requests = 20 + src.Intn(281)
+	s.MeanSizeKB = 256 + src.Intn(8193)
+	if src.Float64() < 0.4 {
+		s.SizeSpreadPct = src.Intn(60)
+	}
+	// MU log-uniform over [1, 2000]: low MU concentrates accesses (the
+	// fully-covered regime), high MU spreads them (the miss regime).
+	s.MU = math.Exp(src.Float64() * math.Log(2000))
+	if src.Float64() < 0.9 {
+		s.InterArrivalMS = float64(50 + src.Intn(951)) // 50..1000 ms
+	}
+	if src.Float64() < 0.3 {
+		s.WritePct = 1 + src.Intn(40)
+	}
+
+	// A slice of the space is steered into the paper's fully-covered
+	// regime (low MU, long delays, read-only, small files) so the
+	// PF-dominates-NPF oracle is exercised rather than always gated off.
+	if s.Prefetch && src.Float64() < 0.3 {
+		s.WritePct = 0
+		s.MAID = false
+		s.MeanSizeKB = 256 + src.Intn(1793) // <= ~2 MB
+		s.MU = 1 + float64(src.Intn(10))
+		s.InterArrivalMS = float64(500 + src.Intn(501))
+		s.Requests = 150 + src.Intn(151)
+		s.PrefetchCount = 40 + src.Intn(81)
+	}
+	return s
+}
+
+// nodeConfigs expands the scenario shape into per-node configs (before
+// the DownNodes prefix is dropped).
+func (s Scenario) nodeConfigs() []cluster.NodeConfig {
+	nodes := make([]cluster.NodeConfig, s.NodeCount)
+	for i := range nodes {
+		nc := cluster.NodeConfig{
+			LinkMbps:    1000,
+			DataModel:   disk.ModelType1,
+			BufferModel: disk.ModelType1,
+			DataDisks:   s.DataDisks,
+			BufferDisks: s.BufferDisks,
+		}
+		if i >= s.NodeCount-s.Type2Count {
+			nc.LinkMbps = 100
+			nc.DataModel = disk.ModelType2
+			nc.BufferModel = disk.ModelType2
+		}
+		nodes[i] = nc
+	}
+	return nodes
+}
+
+// UpNodeConfigs returns the configs of the nodes that stay in service —
+// index i here matches the "node<i>/..." disk names in the run's journal
+// and Result.PerDisk, which the oracles rely on to find each disk's
+// power model.
+func (s Scenario) UpNodeConfigs() []cluster.NodeConfig {
+	return s.nodeConfigs()[s.DownNodes:]
+}
+
+// ClusterConfig expands the scenario into the simulator configuration.
+func (s Scenario) ClusterConfig() cluster.Config {
+	cfg := cluster.Config{
+		Nodes:               s.nodeConfigs(),
+		NodeBasePowerW:      55,
+		IdleThresholdSec:    s.IdleThresholdSec,
+		Prefetch:            s.Prefetch,
+		PrefetchCount:       s.PrefetchCount,
+		Hints:               s.Hints,
+		Prewake:             s.Prewake,
+		DPMWithoutPrefetch:  s.DPMWithoutPrefetch,
+		WriteBuffer:         s.WriteBuffer,
+		MAID:                s.MAID,
+		Concentrate:         s.Concentrate,
+		StripeChunkBytes:    int64(s.StripeChunkKB) * 1024,
+		ReprefetchEvery:     s.ReprefetchEvery,
+		BufferCapacityBytes: int64(s.BufferCapMB) * 1e6,
+		RouteLatencySec:     s.RouteLatencyMS / 1000,
+	}
+	for i := 0; i < s.DownNodes; i++ {
+		cfg.DownNodes = append(cfg.DownNodes, i)
+	}
+	return cfg
+}
+
+// WorkloadConfig expands the scenario into the synthetic-trace generator
+// configuration. The workload shares the scenario seed.
+func (s Scenario) WorkloadConfig() workload.SyntheticConfig {
+	return workload.SyntheticConfig{
+		NumFiles:      s.Files,
+		NumRequests:   s.Requests,
+		MeanSize:      int64(s.MeanSizeKB) * 1000,
+		SizeSpread:    float64(s.SizeSpreadPct) / 100,
+		MU:            s.MU,
+		InterArrival:  s.InterArrivalMS / 1000,
+		WriteFraction: float64(s.WritePct) / 100,
+		Seed:          s.Seed,
+	}
+}
+
+// Valid reports whether the scenario expands to configurations the
+// simulator accepts. Generate always produces valid scenarios; the
+// shrinker uses Valid to discard reduction candidates that would leave
+// the legal space.
+func (s Scenario) Valid() error {
+	if err := s.ClusterConfig().Validate(); err != nil {
+		return err
+	}
+	return s.WorkloadConfig().Validate()
+}

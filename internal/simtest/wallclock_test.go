@@ -1,0 +1,48 @@
+package simtest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoWallClockInDeterministicPaths scans the packages that the seed
+// corpus replays through and fails if any non-test source file consults
+// the wall clock. Determinism of `eevfssim -repro=...` depends on every
+// timestamp coming from simtime, never from time.Now. The live TCP-stack
+// runner (live.go) and the CLI are exempt: they run real sockets and an
+// operator wall-time budget respectively.
+func TestNoWallClockInDeterministicPaths(t *testing.T) {
+	pkgs := []string{
+		"cluster", "simtime", "disk", "workload", "prefetch",
+		"placement", "netmodel", "rng", "trace", "simtest",
+	}
+	exempt := map[string]bool{
+		filepath.Join("simtest", "live.go"): true,
+	}
+	root := filepath.Join("..", "..") // repo root from internal/simtest
+	for _, pkg := range pkgs {
+		dir := filepath.Join(root, "internal", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			if exempt[filepath.Join(pkg, name)] {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(src), "time.Now") {
+				t.Errorf("internal/%s/%s consults the wall clock (time.Now); deterministic replay requires simtime", pkg, name)
+			}
+		}
+	}
+}

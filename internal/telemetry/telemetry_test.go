@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"eevfs/internal/simtest/leak"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -211,6 +213,9 @@ func TestJournalAppendAndCount(t *testing.T) {
 }
 
 func TestAdminServesMetricsAndHealth(t *testing.T) {
+	// The admin listener spawns accept/serve goroutines; Close must not
+	// leave them behind to race the next test's listener.
+	leak.Check(t)
 	r := NewRegistry()
 	r.Counter("proto.calls").Add(3)
 	a, err := StartAdmin("127.0.0.1:0", r, func() any {
