@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel cover soak
+.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-compare cover soak
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the codec and the fault-injected frame path.
+# Short fuzz pass over the codecs (v1 + multiplexed v2 framing) and the
+# fault-injected frame path.
 fuzz:
-	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrame -fuzztime=15s
+	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrame$$ -fuzztime=15s
+	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrameID -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzMessageDecoders -fuzztime=15s
 	$(GO) test ./internal/faultnet -run=^$$ -fuzz=FuzzCorruptedFrames -fuzztime=15s
 
 # Snapshot every benchmark once (test2json stream) so perf regressions
 # can be diffed against a committed baseline.
-bench: bench-parallel
+bench: bench-parallel bench-mux
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_baseline.json
 
 # The parallel-engine comparison (ISSUE 3 acceptance): sweep wall-clock
@@ -32,15 +34,44 @@ bench: bench-parallel
 bench-parallel:
 	$(GO) test -run '^$$' \
 		-bench 'Sweep|RunMany|ServerLookup|ServerStats|Sharded|ServerMap|AtomicLog|AccessLog' \
-		-benchtime 3x -json \
+		-benchtime 3x -count 3 -json \
 		./internal/experiments ./internal/fs ./internal/metadata ./internal/trace \
 		> BENCH_parallel.json
 
+# The multiplexed-transport comparison (ISSUE 5 acceptance): 8 concurrent
+# callers taking turns on a serialized v1 connection vs pipelining on one
+# multiplexed v2 connection, identical simulated service time.
+bench-mux:
+	$(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
+		-benchtime 200x -count 3 -json ./internal/proto > BENCH_mux.json
+
+# The CI perf-regression gate: rerun the gated benchmark suites fresh and
+# diff them against the committed baselines. Fails on a >25% geomean
+# regression; override the threshold with BENCH_MAX_REGRESS (e.g.
+# `make bench-compare BENCH_MAX_REGRESS=1.50` on a known-noisy runner).
+# -normalize cancels uniform machine-speed differences between the
+# machine that recorded the baselines and the one running the gate.
+BENCH_MAX_REGRESS ?= 1.25
+bench-compare:
+	@tmp=$$(mktemp); \
+	{ $(GO) test -run '^$$' \
+		-bench 'Sweep|RunMany|ServerLookup|ServerStats|Sharded|ServerMap|AtomicLog|AccessLog' \
+		-benchtime 3x -count 3 -json \
+		./internal/experiments ./internal/fs ./internal/metadata ./internal/trace > $$tmp && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
+		-benchtime 200x -count 3 -json ./internal/proto >> $$tmp && \
+	  $(GO) run ./cmd/benchdiff -max $(BENCH_MAX_REGRESS) -normalize \
+		-fresh $$tmp BENCH_parallel.json BENCH_mux.json; }; \
+	status=$$?; rm -f $$tmp; exit $$status
+
 # Coverage with a ratchet: the total must never drop below the committed
 # COVERAGE_BASELINE. Raise the baseline when coverage durably improves.
+# The profile goes to a scratch path by default so `make cover` never
+# litters the working tree; CI overrides COVERPROFILE to keep it.
+COVERPROFILE ?= /tmp/eevfs-coverage.out
 cover:
-	$(GO) test -coverprofile=coverage.out ./...
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
+	$(GO) test -coverprofile=$(COVERPROFILE) ./...
+	@total=$$($(GO) tool cover -func=$(COVERPROFILE) | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
 	base=$$(cat COVERAGE_BASELINE); \
 	echo "total coverage: $$total% (baseline $$base%)"; \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { exit (t + 1e-9 < b) ? 1 : 0 }' || \

@@ -1,0 +1,79 @@
+// Command benchdiff compares a fresh `go test -bench -json` run against
+// one or more committed baseline streams and fails when the geometric
+// mean of the per-benchmark time ratios regresses past a threshold.
+//
+// Usage:
+//
+//	benchdiff -fresh fresh.json [-max 1.25] [-normalize] baseline.json...
+//
+// All baseline files are merged (best ns/op per benchmark wins), then
+// matched against the fresh run by benchmark name; benchmarks present
+// on only one side are ignored. With -normalize, every ratio is divided
+// by the median ratio first, so a uniformly slower or faster machine
+// (CI runner vs the laptop that recorded the baseline) cannot trip —
+// or hide — the gate; only relative regressions count. The exit status
+// is 1 on regression, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eevfs/internal/benchcmp"
+)
+
+func main() {
+	var (
+		freshPath = flag.String("fresh", "", "test2json stream of the fresh benchmark run (required)")
+		max       = flag.Float64("max", 1.25, "maximum allowed geomean ratio (1.25 = fail on >25% regression)")
+		normalize = flag.Bool("normalize", false, "divide ratios by their median to cancel uniform machine-speed differences")
+	)
+	flag.Parse()
+	if *freshPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -fresh fresh.json [-max 1.25] [-normalize] baseline.json...")
+		os.Exit(2)
+	}
+
+	fresh, err := parseFile(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline := make(map[string]float64)
+	for _, path := range flag.Args() {
+		m, err := parseFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		for name, ns := range m {
+			if cur, ok := baseline[name]; !ok || ns < cur {
+				baseline[name] = ns
+			}
+		}
+	}
+
+	rep, err := benchcmp.Compare(baseline, fresh, *normalize)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.Format())
+	if err := rep.Check(*max); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (gate %.2fx)\n", *max)
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchcmp.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

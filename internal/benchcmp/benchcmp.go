@@ -1,0 +1,211 @@
+// Package benchcmp parses `go test -bench -json` (test2json) streams and
+// compares two runs, gating on geometric-mean regression.
+//
+// The CI perf gate works off committed baseline streams (BENCH_*.json):
+// a fresh run on the current tree is parsed, matched against the
+// baselines by benchmark name (GOMAXPROCS suffixes stripped, best-of-N
+// per name), and the geomean of the per-benchmark new/old time ratios
+// must stay under a threshold. Because the baselines were recorded on a
+// different machine than the CI runner, the gate can optionally
+// median-normalize the ratios first: dividing every ratio by the median
+// ratio cancels a uniform machine-speed difference while leaving
+// relative regressions — one benchmark suddenly 3x slower than its peers
+// — fully visible.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// test2json event shape (only the fields the parser needs).
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line inside a test2json Output
+// field, e.g. "BenchmarkEndpointPipelined-8   300   180864 ns/op ...".
+// The -N GOMAXPROCS suffix is stripped so baselines recorded on a
+// machine with a different core count still match.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+(?:[eE][+-]?[0-9]+)?) ns/op`)
+
+// Parse reads a test2json stream and returns the best (lowest) ns/op per
+// benchmark, keyed "package/BenchmarkName". Non-JSON lines and non-bench
+// output are skipped; concatenated streams from several `go test -json`
+// invocations parse fine.
+//
+// go test flushes a benchmark's name before running it, so one result
+// line often spans several Output events ("BenchmarkFoo", then
+// "     200\t  1234 ns/op\n"). Output chunks are therefore reassembled
+// per package and matched only on complete lines.
+func Parse(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	partial := make(map[string]string) // package -> unterminated output tail
+	record := func(pkg, line string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || ns <= 0 {
+			return
+		}
+		key := pkg + "/" + m[1]
+		if cur, ok := best[key]; !ok || ns < cur {
+			best[key] = ns
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] != '{' {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // tolerate stray non-test2json lines
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			record(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchcmp: reading stream: %w", err)
+	}
+	for pkg, tail := range partial {
+		record(pkg, tail)
+	}
+	return best, nil
+}
+
+// Row is one matched benchmark in a comparison.
+type Row struct {
+	Name   string  // package/BenchmarkName
+	OldNs  float64 // baseline ns/op
+	NewNs  float64 // fresh ns/op
+	Ratio  float64 // NewNs / OldNs (raw)
+	Normed float64 // Ratio / median ratio (only set when normalizing)
+}
+
+// Report is the outcome of comparing a fresh run against a baseline.
+type Report struct {
+	Rows       []Row
+	Geomean    float64 // geomean of raw ratios
+	Median     float64 // median raw ratio (the machine-speed estimate)
+	Normalized bool
+	// Gated is the value compared against the threshold: the geomean of
+	// normalized ratios when Normalized, else the raw geomean.
+	Gated float64
+}
+
+// Compare matches benchmarks present in both runs and computes the
+// regression report. Benchmarks present in only one run are ignored:
+// new benchmarks must not fail the gate, and retired ones must not
+// block it. normalize divides every ratio by the median ratio before
+// the geomean, cancelling uniform machine-speed differences.
+func Compare(old, fresh map[string]float64, normalize bool) (Report, error) {
+	var rep Report
+	rep.Normalized = normalize
+	names := make([]string, 0, len(old))
+	for name, oldNs := range old {
+		if newNs, ok := fresh[name]; ok && oldNs > 0 && newNs > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return rep, fmt.Errorf("benchcmp: no benchmarks in common between baseline and fresh run")
+	}
+	sort.Strings(names)
+
+	ratios := make([]float64, 0, len(names))
+	for _, name := range names {
+		r := fresh[name] / old[name]
+		rep.Rows = append(rep.Rows, Row{Name: name, OldNs: old[name], NewNs: fresh[name], Ratio: r})
+		ratios = append(ratios, r)
+	}
+	rep.Geomean = geomean(ratios)
+	rep.Median = median(ratios)
+
+	if normalize && rep.Median > 0 {
+		normed := make([]float64, len(ratios))
+		for i := range rep.Rows {
+			rep.Rows[i].Normed = rep.Rows[i].Ratio / rep.Median
+			normed[i] = rep.Rows[i].Normed
+		}
+		rep.Gated = geomean(normed)
+	} else {
+		rep.Gated = rep.Geomean
+	}
+	return rep, nil
+}
+
+// Check returns an error when the report's gated geomean exceeds max
+// (e.g. 1.25 = fail on >25% regression).
+func (rep Report) Check(max float64) error {
+	if rep.Gated > max {
+		return fmt.Errorf("benchcmp: geomean regression %.3fx exceeds the %.2fx threshold", rep.Gated, max)
+	}
+	return nil
+}
+
+// Format renders the report as an aligned text table.
+func (rep Report) Format() string {
+	var b strings.Builder
+	for _, r := range rep.Rows {
+		if rep.Normalized {
+			fmt.Fprintf(&b, "%-70s %14.0f %14.0f %7.3fx %7.3fx\n", r.Name, r.OldNs, r.NewNs, r.Ratio, r.Normed)
+		} else {
+			fmt.Fprintf(&b, "%-70s %14.0f %14.0f %7.3fx\n", r.Name, r.OldNs, r.NewNs, r.Ratio)
+		}
+	}
+	fmt.Fprintf(&b, "geomean ratio: %.3fx  median: %.3fx", rep.Geomean, rep.Median)
+	if rep.Normalized {
+		fmt.Fprintf(&b, "  normalized geomean: %.3fx", rep.Gated)
+	}
+	return b.String()
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

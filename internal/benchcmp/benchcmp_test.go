@@ -1,0 +1,147 @@
+package benchcmp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// j builds one test2json output event line. Tabs in out are escaped so
+// the line stays valid JSON (strings may not hold raw control chars).
+func j(pkg, out string) string {
+	out = strings.ReplaceAll(out, "\t", `\t`)
+	return `{"Action":"output","Package":"` + pkg + `","Output":"` + out + `\n"}` + "\n"
+}
+
+func TestParseBasics(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"eevfs/internal/proto"}`,
+		j("eevfs/internal/proto", "goos: linux"),
+		j("eevfs/internal/proto", "BenchmarkEndpointPipelined-8 \t     300\t    180864 ns/op"),
+		j("eevfs/internal/proto", "BenchmarkEndpointSerialized \t     300\t   1267655 ns/op"),
+		`{"Action":"pass","Package":"eevfs/internal/proto"}`,
+		"not json at all",
+		"",
+	}, "\n")
+	got, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if got["eevfs/internal/proto/BenchmarkEndpointPipelined"] != 180864 {
+		t.Fatalf("pipelined = %v", got)
+	}
+	if got["eevfs/internal/proto/BenchmarkEndpointSerialized"] != 1267655 {
+		t.Fatalf("serialized = %v", got)
+	}
+}
+
+// TestParseReassemblesSplitOutput: go test flushes the benchmark name
+// before running it, so the name and the numbers arrive as separate
+// Output events; the parser must stitch them back together per package.
+func TestParseReassemblesSplitOutput(t *testing.T) {
+	stream := `{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"BenchmarkSplit"}` + "\n" +
+		j("p", " \t     200\t   1232028 ns/op") +
+		`{"Action":"output","Package":"q","Output":"BenchmarkOther"}` + "\n" +
+		j("q", " \t     100\t   55 ns/op")
+	got, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["p/BenchmarkSplit"] != 1232028 || got["q/BenchmarkOther"] != 55 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseKeepsBestOfN(t *testing.T) {
+	stream := j("p", "BenchmarkX \t 10\t 500 ns/op") +
+		j("p", "BenchmarkX \t 10\t 300 ns/op") +
+		j("p", "BenchmarkX \t 10\t 400 ns/op")
+	got, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["p/BenchmarkX"] != 300 {
+		t.Fatalf("best-of-n = %v, want 300", got["p/BenchmarkX"])
+	}
+}
+
+func TestParseScientificNotationAndExtraMetrics(t *testing.T) {
+	stream := j("p", "BenchmarkTiny-4 \t 1000000000\t 0.25 ns/op") +
+		j("p", "BenchmarkAlloc \t 100\t 1.5e+03 ns/op\t  512 B/op\t  3 allocs/op")
+	got, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["p/BenchmarkTiny"] != 0.25 || got["p/BenchmarkAlloc"] != 1500 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCompareGateAndMismatchedSetsIgnored(t *testing.T) {
+	old := map[string]float64{"p/A": 100, "p/B": 200, "p/Retired": 50}
+	fresh := map[string]float64{"p/A": 110, "p/B": 220, "p/Brand": 999}
+	rep, err := Compare(old, fresh, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (unmatched benchmarks ignored)", len(rep.Rows))
+	}
+	if math.Abs(rep.Geomean-1.1) > 1e-9 {
+		t.Fatalf("geomean = %v, want 1.1", rep.Geomean)
+	}
+	if err := rep.Check(1.25); err != nil {
+		t.Fatalf("10%% regression must pass a 25%% gate: %v", err)
+	}
+	if err := rep.Check(1.05); err == nil {
+		t.Fatal("10% regression must fail a 5% gate")
+	}
+}
+
+// TestCompareNormalizationCancelsMachineSpeed: a uniformly 2x-slower
+// machine must pass the normalized gate, but one benchmark regressing 3x
+// against its peers must still fail it.
+func TestCompareNormalizationCancelsMachineSpeed(t *testing.T) {
+	old := map[string]float64{"p/A": 100, "p/B": 200, "p/C": 400}
+	slowMachine := map[string]float64{"p/A": 200, "p/B": 400, "p/C": 800}
+	rep, err := Compare(old, slowMachine, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Gated-1.0) > 1e-9 {
+		t.Fatalf("normalized geomean = %v, want 1.0 on a uniformly slow machine", rep.Gated)
+	}
+	if err := rep.Check(1.25); err != nil {
+		t.Fatalf("uniform slowdown must pass the normalized gate: %v", err)
+	}
+
+	realRegression := map[string]float64{"p/A": 200, "p/B": 400, "p/C": 2400} // C: 3x vs peers
+	rep, err = Compare(old, realRegression, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(1.25); err == nil {
+		t.Fatalf("relative 3x regression must fail the normalized gate (gated %.3f)", rep.Gated)
+	}
+}
+
+func TestCompareNoOverlapErrors(t *testing.T) {
+	if _, err := Compare(map[string]float64{"p/A": 1}, map[string]float64{"p/B": 1}, false); err == nil {
+		t.Fatal("disjoint benchmark sets must error, not silently pass")
+	}
+}
+
+func TestFormatMentionsGeomean(t *testing.T) {
+	rep, err := Compare(map[string]float64{"p/A": 100}, map[string]float64{"p/A": 150}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "p/A") || !strings.Contains(out, "geomean") {
+		t.Fatalf("format output missing fields:\n%s", out)
+	}
+}

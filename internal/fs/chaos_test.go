@@ -264,6 +264,67 @@ func TestChaosMidStreamDropRetried(t *testing.T) {
 	}
 }
 
+// TestChaosCorruptionPoisonsAllOutstanding: with many calls pipelined on
+// the client's one server connection, a mid-stream corruption poisons the
+// whole connection — every outstanding request must fail with a typed
+// *proto.TransportError (no hangs, no silent wrong answers at the
+// transport layer), and once the fault heals the next call must redial a
+// fresh connection and succeed.
+func TestChaosCorruptionPoisonsAllOutstanding(t *testing.T) {
+	_, srv, _, _, clientNet := chaosCluster(t, 1)
+
+	// Single-attempt transport: retries would mask the poison we want to
+	// observe.
+	cfg := chaosTransport()
+	cfg.Retries = -1
+	cl2, err := DialConfig(srv.Addr(), ClientConfig{Dialer: clientNet, Transport: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+
+	// Prime the shared connection so every goroutine below pipelines on
+	// the same socket rather than racing the first dial.
+	if _, err := cl2.List(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a byte every 7 transferred: frame headers are guaranteed
+	// casualties, so the stream desyncs rather than merely smudging a
+	// payload.
+	clientNet.SetFault(srv.Addr(), faultnet.Fault{CorruptEvery: 7})
+
+	const outstanding = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, outstanding)
+	for i := 0; i < outstanding; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl2.List()
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("call over a corrupted stream reported success")
+		}
+		var te *proto.TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("corrupted-stream error = %v, want *proto.TransportError", err)
+		}
+	}
+
+	// Heal: the poisoned connection was discarded, so the next call can
+	// only succeed by redialing.
+	clientNet.Heal(srv.Addr())
+	if _, err := cl2.List(); err != nil {
+		t.Fatalf("call after heal must redial and succeed, got %v", err)
+	}
+}
+
 // TestChaosNodeRestartRecovery: a crashed node is detected, its files
 // report unavailable, and after a restart on the same address the prober
 // readmits it with content intact.

@@ -17,8 +17,9 @@ type ClientConfig struct {
 
 // Client talks to a storage server for metadata and directly to storage
 // nodes for data (steps 5-6 of the paper's process flow). Safe for
-// concurrent use; each underlying connection carries one round trip at a
-// time.
+// concurrent use: every endpoint multiplexes its one connection, so any
+// number of goroutines can have round trips in flight to the server and
+// to each node simultaneously, correlated by request id.
 type Client struct {
 	cfg    ClientConfig
 	server *proto.Endpoint

@@ -257,108 +257,94 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.mu.Unlock()
 		conn.Close()
 	}()
-	dc := &deadlineConn{Conn: conn, writeTimeout: n.cfg.WriteTimeout}
-	for {
-		t, payload, err := proto.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := n.dispatch(dc, t, payload); err != nil {
-			werr := proto.WriteFrame(dc, proto.TError, errorPayload(err))
-			if werr != nil {
-				return
-			}
-		}
-	}
+	serveFrames(conn, n.cfg.WriteTimeout, n.dispatch)
 }
 
-func (n *Node) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
+func (n *Node) dispatch(t proto.Type, payload []byte) (proto.Type, []byte, error) {
 	start := time.Now()
-	err := n.dispatchInner(conn, t, payload)
+	rt, rp, err := n.dispatchInner(t, payload)
 	n.met.observe(t, time.Since(start), err)
-	return err
+	return rt, rp, err
 }
 
-func (n *Node) dispatchInner(conn net.Conn, t proto.Type, payload []byte) error {
+func (n *Node) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, error) {
 	switch t {
 	case proto.TNodeCreateReq:
 		req, err := proto.DecodeNodeCreateReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		if err := n.handleCreate(req); err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TNodeCreateResp, nil)
+		return proto.TNodeCreateResp, nil, nil
 
 	case proto.TNodeWriteReq:
 		req, err := proto.DecodeNodeWriteReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		buffered, err := n.handleWrite(req)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TNodeWriteResp,
-			proto.NodeWriteResp{Buffered: buffered}.Encode())
+		return proto.TNodeWriteResp, proto.NodeWriteResp{Buffered: buffered}.Encode(), nil
 
 	case proto.TNodeReadReq:
 		req, err := proto.DecodeNodeReadReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		data, fromBuffer, err := n.handleRead(req.FileID)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TNodeReadResp,
-			proto.NodeReadResp{FromBuffer: fromBuffer, Data: data}.Encode())
+		return proto.TNodeReadResp,
+			proto.NodeReadResp{FromBuffer: fromBuffer, Data: data}.Encode(), nil
 
 	case proto.TNodeDeleteReq:
 		req, err := proto.DecodeNodeDeleteReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		if err := n.handleDelete(req.FileID); err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TNodeDeleteResp, nil)
+		return proto.TNodeDeleteResp, nil, nil
 
 	case proto.TNodePrefetchReq:
 		req, err := proto.DecodeNodePrefetchReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		count := n.handlePrefetch(req.FileIDs)
-		return proto.WriteFrame(conn, proto.TNodePrefetchResp,
-			proto.PrefetchResp{Prefetched: count}.Encode())
+		return proto.TNodePrefetchResp, proto.PrefetchResp{Prefetched: count}.Encode(), nil
 
 	case proto.TNodeReadAtReq:
 		req, err := proto.DecodeNodeReadAtReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		data, fromBuffer, err := n.handleReadAt(req)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TNodeReadAtResp,
-			proto.NodeReadResp{FromBuffer: fromBuffer, Data: data}.Encode())
+		return proto.TNodeReadAtResp,
+			proto.NodeReadResp{FromBuffer: fromBuffer, Data: data}.Encode(), nil
 
 	case proto.TNodeHintsReq:
 		req, err := proto.DecodeNodeHintsReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		n.handleHints(req)
-		return proto.WriteFrame(conn, proto.TNodeHintsResp, nil)
+		return proto.TNodeHintsResp, nil, nil
 
 	case proto.TNodeStatsReq:
-		return proto.WriteFrame(conn, proto.TNodeStatsResp, n.statsResp().Encode())
+		return proto.TNodeStatsResp, n.statsResp().Encode(), nil
 
 	default:
-		return fmt.Errorf("fs: node got unexpected message type %d", t)
+		return 0, nil, fmt.Errorf("fs: node got unexpected message type %d", t)
 	}
 }
 

@@ -1,0 +1,101 @@
+package fs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"eevfs/internal/proto"
+)
+
+// maxConnWorkers bounds how many requests from one connection may be in
+// flight in handler goroutines at once. The bound is per connection:
+// one greedy pipelining peer cannot starve the daemon, and Close still
+// drains quickly.
+const maxConnWorkers = 32
+
+// handlerFunc handles one decoded request and returns the response
+// frame. A returned error becomes a TError frame; the connection stays
+// up either way (malformed payloads answer with an error rather than a
+// hangup, matching the v1 behavior the tests pin).
+type handlerFunc func(t proto.Type, payload []byte) (proto.Type, []byte, error)
+
+// serveFrames drives one accepted connection until it dies, speaking
+// whichever protocol version the peer opened with:
+//
+//   - v2 (the 4-byte EEV2 preface): requests are dispatched to a bounded
+//     pool of worker goroutines, so many round trips from one peer are
+//     serviced concurrently; responses carry the request's id and are
+//     written whole under a per-connection mutex (ordered, never
+//     interleaved), in whatever order the handlers finish.
+//   - v1 (no preface — the first four bytes are a frame length):
+//     requests are served one at a time, in order, exactly as before the
+//     multiplexed framing existed.
+//
+// writeTimeout bounds each response write so a stalled peer cannot pin
+// a handler goroutine.
+func serveFrames(conn net.Conn, writeTimeout time.Duration, handle handlerFunc) {
+	var first [4]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	dc := &deadlineConn{Conn: conn, writeTimeout: writeTimeout}
+	if binary.BigEndian.Uint32(first[:]) == proto.MagicV2 {
+		serveV2(conn, dc, handle)
+		return
+	}
+	// v1 peer: replay the sniffed bytes as the first frame's length.
+	serveV1(io.MultiReader(bytes.NewReader(first[:]), conn), dc, handle)
+}
+
+func serveV1(r io.Reader, w io.Writer, handle handlerFunc) {
+	for {
+		t, payload, err := proto.ReadFrame(r)
+		if err != nil {
+			return
+		}
+		rt, rp, herr := handle(t, payload)
+		if herr != nil {
+			rt, rp = proto.TError, errorPayload(herr)
+		}
+		if err := proto.WriteFrame(w, rt, rp); err != nil {
+			return
+		}
+	}
+}
+
+func serveV2(conn net.Conn, w io.Writer, handle handlerFunc) {
+	var (
+		wg      sync.WaitGroup
+		writeMu sync.Mutex
+		slots   = make(chan struct{}, maxConnWorkers)
+	)
+	for {
+		t, id, payload, err := proto.ReadFrameID(conn)
+		if err != nil {
+			break
+		}
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(t proto.Type, id uint32, payload []byte) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			rt, rp, herr := handle(t, payload)
+			if herr != nil {
+				rt, rp = proto.TError, errorPayload(herr)
+			}
+			writeMu.Lock()
+			werr := proto.WriteFrameID(w, rt, id, rp)
+			writeMu.Unlock()
+			if werr != nil {
+				// A response we cannot deliver poisons the stream for the
+				// peer anyway; close so the read loop exits too.
+				conn.Close()
+			}
+		}(t, id, payload)
+	}
+	wg.Wait()
+}

@@ -273,10 +273,18 @@ func (s *Server) probeLoop() {
 			return
 		case <-ticker.C:
 		}
+		// Probe all nodes concurrently: detection latency stays one
+		// round trip even on wide clusters.
+		var wg sync.WaitGroup
 		for _, h := range s.nodes {
-			_, _, err := h.probe.Call(proto.TNodeStatsReq, nil)
-			s.noteNode(h, err)
+			wg.Add(1)
+			go func(h *nodeHandle) {
+				defer wg.Done()
+				_, _, err := h.probe.Call(proto.TNodeStatsReq, nil)
+				s.noteNode(h, err)
+			}(h)
 		}
+		wg.Wait()
 	}
 }
 
@@ -318,86 +326,73 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
-	dc := &deadlineConn{Conn: conn, writeTimeout: s.cfg.WriteTimeout}
-	for {
-		t, payload, err := proto.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := s.dispatch(dc, t, payload); err != nil {
-			if werr := proto.WriteFrame(dc, proto.TError, errorPayload(err)); werr != nil {
-				return
-			}
-		}
-	}
+	serveFrames(conn, s.cfg.WriteTimeout, s.dispatch)
 }
 
-func (s *Server) dispatch(conn net.Conn, t proto.Type, payload []byte) error {
+func (s *Server) dispatch(t proto.Type, payload []byte) (proto.Type, []byte, error) {
 	start := time.Now()
-	err := s.dispatchInner(conn, t, payload)
+	rt, rp, err := s.dispatchInner(t, payload)
 	s.met.observe(t, time.Since(start), err)
-	return err
+	return rt, rp, err
 }
 
-func (s *Server) dispatchInner(conn net.Conn, t proto.Type, payload []byte) error {
+func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, error) {
 	switch t {
 	case proto.TCreateReq:
 		req, err := proto.DecodeCreateReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		resp, err := s.handleCreate(req)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TCreateResp, resp.Encode())
+		return proto.TCreateResp, resp.Encode(), nil
 
 	case proto.TLookupReq:
 		req, err := proto.DecodeLookupReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		resp, err := s.handleLookup(req)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TLookupResp, resp.Encode())
+		return proto.TLookupResp, resp.Encode(), nil
 
 	case proto.TListReq:
-		return proto.WriteFrame(conn, proto.TListResp,
-			proto.ListResp{Names: s.meta.Names()}.Encode())
+		return proto.TListResp, proto.ListResp{Names: s.meta.Names()}.Encode(), nil
 
 	case proto.TDeleteReq:
 		req, err := proto.DecodeDeleteReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		if err := s.handleDelete(req); err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TDeleteResp, nil)
+		return proto.TDeleteResp, nil, nil
 
 	case proto.TPrefetchReq:
 		req, err := proto.DecodePrefetchReq(payload)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		count, err := s.handlePrefetch(int(req.K))
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TPrefetchResp,
-			proto.PrefetchResp{Prefetched: count}.Encode())
+		return proto.TPrefetchResp, proto.PrefetchResp{Prefetched: count}.Encode(), nil
 
 	case proto.TStatsReq:
 		resp, err := s.handleStats()
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return proto.WriteFrame(conn, proto.TStatsResp, resp.Encode())
+		return proto.TStatsResp, resp.Encode(), nil
 
 	default:
-		return fmt.Errorf("fs: server got unexpected message type %d", t)
+		return 0, nil, fmt.Errorf("fs: server got unexpected message type %d", t)
 	}
 }
 
@@ -535,7 +530,19 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 		perNode[fi.Node] = append(perNode[fi.Node], int64(id))
 	}
 
-	var total int64
+	// Fan the per-node prefetch commands out concurrently: each node's
+	// RPC rides its own multiplexed endpoint, so a slow spindle on one
+	// node no longer serializes the whole round. Results are folded in
+	// node order so the first error reported is deterministic.
+	type nodeResult struct {
+		count int64
+		err   error
+	}
+	results := make(map[int]nodeResult, len(perNode))
+	var (
+		resMu sync.Mutex
+		wg    sync.WaitGroup
+	)
 	for nodeIdx, fileIDs := range perNode {
 		h := s.nodes[nodeIdx]
 		if !h.healthy() {
@@ -543,31 +550,63 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 				h.addr, len(fileIDs))
 			continue
 		}
-		_, payload, err := s.roundTrip(h, proto.TNodePrefetchReq,
-			proto.NodePrefetchReq{FileIDs: fileIDs}.Encode())
-		if err != nil {
-			return total, fmt.Errorf("fs: prefetch on node %d: %w", nodeIdx, err)
+		wg.Add(1)
+		go func(nodeIdx int, h *nodeHandle, fileIDs []int64) {
+			defer wg.Done()
+			var res nodeResult
+			_, payload, err := s.roundTrip(h, proto.TNodePrefetchReq,
+				proto.NodePrefetchReq{FileIDs: fileIDs}.Encode())
+			if err != nil {
+				res.err = fmt.Errorf("fs: prefetch on node %d: %w", nodeIdx, err)
+			} else if resp, derr := proto.DecodePrefetchResp(payload); derr != nil {
+				res.err = derr
+			} else {
+				res.count = resp.Prefetched
+			}
+			resMu.Lock()
+			results[nodeIdx] = res
+			resMu.Unlock()
+		}(nodeIdx, h, fileIDs)
+	}
+	wg.Wait()
+
+	var total int64
+	var firstErr error
+	for nodeIdx := 0; nodeIdx < len(s.nodes); nodeIdx++ {
+		res, ok := results[nodeIdx]
+		if !ok {
+			continue
 		}
-		resp, err := proto.DecodePrefetchResp(payload)
-		if err != nil {
-			return total, err
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
 		}
-		total += resp.Prefetched
+		total += res.count
+	}
+	if firstErr != nil {
+		return total, firstErr
 	}
 
 	// Step 4 of the process flow: forward the observed access patterns as
-	// hints so the nodes can predict idle windows. Failures are logged,
-	// not fatal — hints are advisory ("EEVFS can operate without the
-	// application hints", Section IV-C).
+	// hints so the nodes can predict idle windows, again one concurrent
+	// RPC per node. Failures are logged, not fatal — hints are advisory
+	// ("EEVFS can operate without the application hints", Section IV-C).
 	for nodeIdx, hints := range s.hintsPerNode() {
 		if len(hints) == 0 || !s.nodes[nodeIdx].healthy() {
 			continue
 		}
-		if _, _, err := s.roundTrip(s.nodes[nodeIdx], proto.TNodeHintsReq,
-			proto.NodeHintsReq{Hints: hints}.Encode()); err != nil {
-			s.logger.Printf("forwarding hints to node %d: %v", nodeIdx, err)
-		}
+		wg.Add(1)
+		go func(nodeIdx int, hints []proto.FileHint) {
+			defer wg.Done()
+			if _, _, err := s.roundTrip(s.nodes[nodeIdx], proto.TNodeHintsReq,
+				proto.NodeHintsReq{Hints: hints}.Encode()); err != nil {
+				s.logger.Printf("forwarding hints to node %d: %v", nodeIdx, err)
+			}
+		}(nodeIdx, hints)
 	}
+	wg.Wait()
 	return total, nil
 }
 
@@ -612,23 +651,46 @@ func (s *Server) hintsPerNode() map[int][]proto.FileHint {
 	return out
 }
 
-// handleStats gathers per-disk stats from every healthy node, prefixing
-// disk names with the node index. Unhealthy nodes are skipped so a
+// handleStats gathers per-disk stats from every healthy node — one
+// concurrent RPC per node — prefixing disk names with the node index.
+// Results are folded in node order, so the response layout is identical
+// to the old sequential sweep. Unhealthy nodes are skipped so a
 // degraded cluster still reports what it can.
 func (s *Server) handleStats() (proto.StatsResp, error) {
-	var out proto.StatsResp
+	perNode := make([]*proto.StatsResp, len(s.nodes))
+	errs := make([]error, len(s.nodes))
+	var wg sync.WaitGroup
 	for i, h := range s.nodes {
 		if !h.healthy() {
 			s.logger.Printf("stats: skipping unhealthy node %s", h.addr)
 			continue
 		}
-		_, payload, err := s.roundTrip(h, proto.TNodeStatsReq, nil)
-		if err != nil {
-			return proto.StatsResp{}, fmt.Errorf("fs: stats from node %d: %w", i, err)
+		wg.Add(1)
+		go func(i int, h *nodeHandle) {
+			defer wg.Done()
+			_, payload, err := s.roundTrip(h, proto.TNodeStatsReq, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("fs: stats from node %d: %w", i, err)
+				return
+			}
+			resp, err := proto.DecodeStatsResp(payload)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			perNode[i] = &resp
+		}(i, h)
+	}
+	wg.Wait()
+
+	var out proto.StatsResp
+	for i := range s.nodes {
+		if errs[i] != nil {
+			return proto.StatsResp{}, errs[i]
 		}
-		resp, err := proto.DecodeStatsResp(payload)
-		if err != nil {
-			return proto.StatsResp{}, err
+		resp := perNode[i]
+		if resp == nil {
+			continue
 		}
 		for _, ds := range resp.Disks {
 			ds.Name = fmt.Sprintf("node%d/%s", i, ds.Name)

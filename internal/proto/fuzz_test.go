@@ -34,6 +34,38 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzReadFrameID feeds arbitrary bytes to the v2 frame reader: it must
+// never panic nor over-allocate, and accepted frames (with their request
+// id) must round-trip through WriteFrameID.
+func FuzzReadFrameID(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteFrameID(&good, TCreateReq, 7, CreateReq{"x", 1}.Encode()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 5, 1, 0, 0, 0, 9}) // minimal: empty payload
+	f.Add([]byte{0, 0, 0, 4, 1, 0, 0, 0})    // length below the v2 header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0}) // oversized length
+	f.Add([]byte{0x45, 0x45, 0x56, 0x32})    // the preface magic itself
+	f.Add([]byte{0, 0, 0, 9, 2, 0, 0, 0, 1, 'h', 'i'})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		ty, id, payload, err := ReadFrameID(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrameID(&buf, ty, id, payload); err != nil {
+			t.Fatalf("re-encoding accepted v2 frame failed: %v", err)
+		}
+		ty2, id2, payload2, err := ReadFrameID(&buf)
+		if err != nil || ty2 != ty || id2 != id || !bytes.Equal(payload2, payload) {
+			t.Fatal("v2 frame round trip mismatch")
+		}
+	})
+}
+
 // FuzzMessageDecoders throws arbitrary payloads at every decoder: none may
 // panic, and decoded messages must re-encode without error.
 func FuzzMessageDecoders(f *testing.F) {

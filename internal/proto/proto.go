@@ -3,10 +3,22 @@
 // node; clients contact the server for metadata and then transfer data
 // directly with the owning storage node).
 //
-// Framing: every message is [u32 length][u8 type][payload]; length covers
-// the type byte plus payload. Integers are big-endian; strings and byte
-// slices are length-prefixed (u32). Frames are capped to prevent a
-// malformed peer from forcing huge allocations.
+// Framing, v1: every message is [u32 length][u8 type][payload]; length
+// covers the type byte plus payload. One request is answered by one
+// response on the same connection before the next request is sent.
+//
+// Framing, v2 (multiplexed): a connection opens with the 4-byte magic
+// "EEV2", then every frame is [u32 length][u8 type][u32 id][payload];
+// length covers type + id + payload. The id correlates a response with
+// its request, so many round trips can be in flight on one connection
+// and responses may arrive in any order. The magic is deliberately
+// larger than MaxFrame, so a v2 preface can never be mistaken for a v1
+// length prefix — servers sniff the first four bytes and speak
+// whichever version the peer opened with.
+//
+// Integers are big-endian; strings and byte slices are length-prefixed
+// (u32). Frames are capped to prevent a malformed peer from forcing
+// huge allocations.
 package proto
 
 import (
@@ -15,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // MaxFrame bounds a single frame: 256 MiB covers the evaluation's largest
@@ -102,6 +115,80 @@ func ReadFrame(r io.Reader) (Type, []byte, error) {
 		return 0, nil, err
 	}
 	return t, payload, nil
+}
+
+// MagicV2 is the connection preface of the multiplexed v2 framing. Read
+// as a v1 length prefix it decodes to ~1.16 GB — far beyond MaxFrame —
+// so the two framings can never be confused on the wire.
+const MagicV2 uint32 = 0x45455632 // "EEV2"
+
+// v2 frame overhead past the length prefix: 1 type byte + 4 id bytes.
+const v2HeaderLen = 5
+
+// ErrShortV2Frame reports a v2 frame too small to carry type + id.
+var ErrShortV2Frame = errors.New("proto: v2 frame shorter than its header")
+
+// WritePreface sends the v2 magic; a muxed connection starts with it.
+func WritePreface(w io.Writer) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], MagicV2)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// framePool recycles whole-frame encode buffers: a v2 frame is built
+// (header + payload) in one pooled buffer and written with a single
+// Write call, so the per-RPC steady state allocates nothing and a frame
+// is never interleaved with another writer's bytes.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendFrameID appends one v2 frame to buf.
+func appendFrameID(buf []byte, t Type, id uint32, payload []byte) []byte {
+	n := v2HeaderLen + len(payload)
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(hdr[5:], id)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// WriteFrameID sends one v2 frame: [u32 length][u8 type][u32 id][payload].
+// The frame is assembled in a pooled buffer and written atomically with
+// respect to other WriteFrameID calls on a mutex-guarded writer.
+func WriteFrameID(w io.Writer, t Type, id uint32, payload []byte) error {
+	if v2HeaderLen+len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := appendFrameID((*bp)[:0], t, id, payload)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
+	return err
+}
+
+// ReadFrameID receives one v2 frame, returning its type, request id, and
+// payload. The payload is freshly allocated and owned by the caller.
+func ReadFrameID(r io.Reader) (Type, uint32, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < v2HeaderLen {
+		return 0, 0, nil, ErrShortV2Frame
+	}
+	if n > MaxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	t := Type(hdr[4])
+	id := binary.BigEndian.Uint32(hdr[5:])
+	payload := make([]byte, n-v2HeaderLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return t, id, payload, nil
 }
 
 // Encoder builds a payload.

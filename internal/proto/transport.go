@@ -2,11 +2,16 @@
 // trip. The paper's process flow keeps one persistent TCP connection per
 // peer (server -> each storage node, client -> server and nodes); an
 // Endpoint owns such a connection and gives every round trip a connect
-// deadline, an overall read/write deadline, and bounded retries with
-// jittered exponential backoff. Transport failures discard the connection
-// (a half-written request or half-read response poisons the stream) and
-// surface as *TransportError; remote application failures surface as
-// *RemoteError and never retry.
+// deadline, an overall round-trip deadline, and bounded retries with
+// jittered exponential backoff. The connection is multiplexed (v2
+// framing): any number of callers may have round trips in flight
+// concurrently, correlated by request id, so a storage server fanning
+// prefetch reads across nodes no longer pays head-of-line latency.
+// Transport failures discard the connection — a half-written request,
+// half-read response, or missing response poisons the stream, failing
+// every outstanding request — and surface as *TransportError; remote
+// application failures surface as *RemoteError, never retry, and leave
+// the connection (and its other in-flight requests) untouched.
 package proto
 
 import (
@@ -127,6 +132,8 @@ type epMetrics struct {
 	transportEs *telemetry.Counter
 	remoteEs    *telemetry.Counter
 	latency     *telemetry.Histogram
+	inflight    *telemetry.Gauge
+	queueDepth  *telemetry.Histogram
 }
 
 func newEpMetrics(reg *telemetry.Registry) epMetrics {
@@ -138,13 +145,17 @@ func newEpMetrics(reg *telemetry.Registry) epMetrics {
 		transportEs: reg.Counter("proto.rt.errors.transport"),
 		remoteEs:    reg.Counter("proto.rt.errors.remote"),
 		latency:     reg.Histogram("proto.rt.seconds", nil),
+		inflight:    reg.Gauge("proto.inflight"),
+		queueDepth:  reg.Histogram("proto.queue.depth", nil),
 	}
 }
 
-// Endpoint is one peer's persistent connection plus the retry policy
-// around it. It serializes round trips (the paper's single connection per
-// storage node carries one request at a time) and is safe for concurrent
-// use. The zero value is not usable; call NewEndpoint.
+// Endpoint is one peer's persistent multiplexed connection plus the
+// retry policy around it. Any number of goroutines may Call concurrently;
+// their round trips are pipelined on the single connection (the paper's
+// one persistent connection per storage node, now kept busy with
+// overlapped work instead of idle waits) and correlated back by request
+// id. The zero value is not usable; call NewEndpoint.
 type Endpoint struct {
 	addr string
 	dial Dialer
@@ -152,7 +163,7 @@ type Endpoint struct {
 	met  epMetrics
 
 	mu     sync.Mutex
-	conn   net.Conn
+	cur    *muxConn // current connection generation (nil before first use)
 	rng    *rand.Rand
 	closed bool
 }
@@ -178,43 +189,58 @@ func (e *Endpoint) Addr() string { return e.addr }
 
 // Connect dials eagerly (Call otherwise dials lazily on first use).
 func (e *Endpoint) Connect() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ensureConnLocked()
+	_, err := e.conn()
+	return err
 }
 
-// Close discards the connection; a later Call would redial.
+// Close discards the connection — outstanding round trips fail with a
+// typed transport error — and makes every later Call return
+// net.ErrClosed (wrapped).
 func (e *Endpoint) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.closed = true
-	if e.conn != nil {
-		err := e.conn.Close()
-		e.conn = nil
-		return err
+	m := e.cur
+	e.cur = nil
+	e.mu.Unlock()
+	if m != nil {
+		m.poison(net.ErrClosed)
 	}
 	return nil
 }
 
-func (e *Endpoint) ensureConnLocked() error {
+// conn returns the live connection generation, dialing a fresh one when
+// there is none (first use, or the previous generation was poisoned).
+func (e *Endpoint) conn() (*muxConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
-		return net.ErrClosed
+		return nil, net.ErrClosed
 	}
-	if e.conn != nil {
-		return nil
+	if e.cur != nil && e.cur.alive() {
+		return e.cur, nil
 	}
 	c, err := e.dial.Dial(e.addr, e.cfg.DialTimeout)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	e.conn = c
-	return nil
+	e.cur = newMuxConn(c, e.met)
+	return e.cur, nil
 }
 
-// backoffLocked returns the jittered delay before retry attempt n >= 1:
+// dropConn clears the current generation if it is still m; the poisoned
+// muxConn already closed its socket and failed its pending requests.
+func (e *Endpoint) dropConn(m *muxConn) {
+	e.mu.Lock()
+	if e.cur == m {
+		e.cur = nil
+	}
+	e.mu.Unlock()
+}
+
+// backoff returns the jittered delay before retry attempt n >= 1:
 // RetryBase doubled per attempt, capped at RetryMax, jittered to
 // [50%, 100%] so synchronized retry storms decorrelate.
-func (e *Endpoint) backoffLocked(attempt int) time.Duration {
+func (e *Endpoint) backoff(attempt int) time.Duration {
 	d := e.cfg.RetryBase
 	for i := 1; i < attempt && d < e.cfg.RetryMax; i++ {
 		d *= 2
@@ -222,31 +248,30 @@ func (e *Endpoint) backoffLocked(attempt int) time.Duration {
 	if d > e.cfg.RetryMax {
 		d = e.cfg.RetryMax
 	}
-	return d/2 + time.Duration(e.rng.Int63n(int64(d/2)+1))
+	e.mu.Lock()
+	j := time.Duration(e.rng.Int63n(int64(d/2) + 1))
+	e.mu.Unlock()
+	return d/2 + j
 }
 
 // Call performs one round trip with the configured deadlines and
 // retries. Remote application errors (*RemoteError) are final and leave
-// the connection cached; any transport error closes and clears the
-// connection before the next attempt — a dead stream must never leak
-// into a later round trip.
+// the connection cached; any transport error poisons the connection
+// generation (failing every other in-flight request on it) before the
+// next attempt — a dead stream must never leak into a later round trip.
 func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 	e.met.calls.Inc()
 	start := time.Now()
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var last error
 	attempts := 0
 	for attempt := 0; attempt <= e.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			e.met.retries.Inc()
-			d := e.backoffLocked(attempt)
-			e.mu.Unlock() // don't hold the endpoint through the backoff sleep
-			time.Sleep(d)
-			e.mu.Lock()
+			time.Sleep(e.backoff(attempt))
 		}
 		attempts++
-		if err := e.ensureConnLocked(); err != nil {
+		m, err := e.conn()
+		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				e.met.transportEs.Inc()
 				return 0, nil, &TransportError{Addr: e.addr, Attempts: attempts, Err: err}
@@ -254,16 +279,13 @@ func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 			last = err
 			continue
 		}
-		e.conn.SetDeadline(time.Now().Add(e.cfg.RTTimeout))
-		rt, rp, err := RoundTrip(e.conn, t, payload)
+		rt, rp, err := m.roundTrip(t, payload, e.cfg.RTTimeout)
 		if err == nil {
-			e.conn.SetDeadline(time.Time{})
 			e.met.latency.Observe(time.Since(start).Seconds())
 			return rt, rp, nil
 		}
 		var re *RemoteError
 		if errors.As(err, &re) {
-			e.conn.SetDeadline(time.Time{})
 			// The peer answered; the round trip itself succeeded, so it
 			// counts toward latency, and the failure is classified by
 			// its wire code (cold path: registry lookup is fine here).
@@ -272,8 +294,7 @@ func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 			e.met.reg.Counter("proto.rt.errors.remote." + re.Code.String()).Inc()
 			return 0, nil, err
 		}
-		e.conn.Close()
-		e.conn = nil
+		e.dropConn(m)
 		last = err
 	}
 	terr := &TransportError{Addr: e.addr, Attempts: attempts, Err: last}

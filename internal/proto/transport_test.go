@@ -1,7 +1,9 @@
 package proto
 
 import (
+	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -9,9 +11,10 @@ import (
 	"time"
 )
 
-// frameServer runs a one-frame-at-a-time protocol peer. handle returns
-// the response frame, or ok=false to slam the connection shut instead of
-// answering (a mid-message failure).
+// frameServer runs a v2 protocol peer that answers requests in arrival
+// order, echoing each request's id. handle returns the response frame,
+// or ok=false to slam the connection shut instead of answering (a
+// mid-message failure).
 func frameServer(t *testing.T, handle func(Type, []byte) (Type, []byte, bool)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -27,8 +30,11 @@ func frameServer(t *testing.T, handle func(Type, []byte) (Type, []byte, bool)) s
 			}
 			go func() {
 				defer c.Close()
+				if err := consumePreface(c); err != nil {
+					return
+				}
 				for {
-					ty, payload, err := ReadFrame(c)
+					ty, id, payload, err := ReadFrameID(c)
 					if err != nil {
 						return
 					}
@@ -36,7 +42,7 @@ func frameServer(t *testing.T, handle func(Type, []byte) (Type, []byte, bool)) s
 					if !ok {
 						return
 					}
-					if err := WriteFrame(c, rt, rp); err != nil {
+					if err := WriteFrameID(c, rt, id, rp); err != nil {
 						return
 					}
 				}
@@ -44,6 +50,19 @@ func frameServer(t *testing.T, handle func(Type, []byte) (Type, []byte, bool)) s
 		}
 	}()
 	return ln.Addr().String()
+}
+
+// consumePreface reads and checks the v2 magic on a test server's
+// accepted connection.
+func consumePreface(c net.Conn) error {
+	var b [4]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(b[:]) != MagicV2 {
+		return errors.New("test server: peer did not send the v2 preface")
+	}
+	return nil
 }
 
 // countingDialer tracks dials and live (unclosed) connections.
@@ -254,8 +273,8 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 	a := NewEndpoint("x", nil, cfg)
 	b := NewEndpoint("x", nil, cfg)
 	for attempt := 1; attempt <= 6; attempt++ {
-		da := a.backoffLocked(attempt)
-		db := b.backoffLocked(attempt)
+		da := a.backoff(attempt)
+		db := b.backoff(attempt)
 		if da != db {
 			t.Fatalf("attempt %d: %v vs %v with identical seeds", attempt, da, db)
 		}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"eevfs/internal/disk"
@@ -173,7 +174,10 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 	names := make([]string, 0, s.Files)
 	for i := 0; i < s.Files; i++ {
 		name := fmt.Sprintf("live-%d", i)
-		data := bytes.Repeat([]byte{byte('a' + i%26)}, 200+src.Intn(4000))
+		// Prefix the name so every file's content is unique: the
+		// correlation phase below depends on a crossed response being
+		// distinguishable from the right one.
+		data := append([]byte(name+":"), bytes.Repeat([]byte{byte('a' + i%26)}, 200+src.Intn(4000))...)
 		if err := cl.Create(name, data); err != nil {
 			return fmt.Errorf("live: create %s on healthy cluster: %w", name, err)
 		}
@@ -184,6 +188,15 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 		if _, err := cl.Prefetch(s.PrefetchK); err != nil {
 			return fmt.Errorf("live: prefetch on healthy cluster: %w", err)
 		}
+	}
+
+	// Phase 1b: request-id correlation oracle. The cluster is healthy and
+	// every file's content is unique, so concurrent readers pipelining on
+	// the client's shared connections must each get back exactly the
+	// content they asked for — a demux delivering a response to the wrong
+	// request id would surface here as a cross-file content swap.
+	if err := checkCorrelation(cl, names, acceptable); err != nil {
+		return err
 	}
 
 	// Phase 2: randomized reads/writes, with an optional mid-run crash.
@@ -281,6 +294,39 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 		if !anyEqual(data, acceptable[fi.Name]) {
 			return fmt.Errorf("live: %s final content (%d bytes) matches no acceptable content", fi.Name, len(data))
 		}
+	}
+	return nil
+}
+
+// checkCorrelation reads every file from several goroutines at once
+// through one shared client and verifies each reader got its own file's
+// exact content. Run only while the cluster is healthy, so any error —
+// not just a content swap — is a violation.
+func checkCorrelation(cl *fs.Client, names []string, acceptable map[string][][]byte) error {
+	const rounds = 3
+	errCh := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				data, _, err := cl.Read(name)
+				if err != nil {
+					errCh <- fmt.Errorf("live: concurrent read %s on healthy cluster: %w", name, err)
+					return
+				}
+				if !bytes.Equal(data, acceptable[name][0]) {
+					errCh <- fmt.Errorf("live: concurrent read %s returned %d bytes of someone else's content (crossed request ids)", name, len(data))
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
 	}
 	return nil
 }
