@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-compare cover soak
+.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-compare cover soak soak-failover
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ fuzz:
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrame$$ -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrameID -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzMessageDecoders -fuzztime=15s
+	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzRepDecoders -fuzztime=15s
 	$(GO) test ./internal/faultnet -run=^$$ -fuzz=FuzzCorruptedFrames -fuzztime=15s
 
 # Snapshot every benchmark once (test2json stream) so perf regressions
@@ -78,11 +79,19 @@ cover:
 		{ echo "coverage ratchet FAILED: $$total% < baseline $$base%"; exit 1; }
 
 # Randomized simulation soak (DESIGN.md §14): fresh seeds through every
-# invariant oracle, plus a live TCP-stack scenario every 50 iterations.
+# invariant oracle, plus a live TCP-stack scenario every 50 iterations
+# (live scenarios roll replicated server groups and primary kills too).
 # Failures shrink to a one-line repro; SOAK_SEED pins the seed base.
 SOAK_SEED ?= 1
 soak:
 	$(GO) run ./cmd/eevfssim -seed $(SOAK_SEED) -n 500 -live 50
+
+# The kill-the-primary battery (DESIGN.md §17): 200 seeded live runs,
+# each booting a replicated metadata group and crashing the primary
+# mid-workload, under the race detector. Convergence failures shrink to
+# a one-line repro.
+soak-failover:
+	$(GO) run -race ./cmd/eevfssim -seed $(SOAK_SEED) -live-failover 200
 
 # The full pre-merge gate: vet + build + the whole suite under the race
 # detector (the chaos tests in internal/fs exercise real concurrency).

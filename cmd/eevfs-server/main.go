@@ -37,6 +37,12 @@ func main() {
 			"background node health-check period (negative = disabled)")
 		adminAddr = flag.String("admin-addr", "",
 			"admin HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+		peers = flag.String("peers", "",
+			"comma-separated addresses of every metadata server in a replicated group, including this one (empty = standalone)")
+		self = flag.Int("self", 0,
+			"this server's index in -peers (index 0 boots as primary on a cold start)")
+		mirrorPrefetch = flag.Bool("mirror-prefetch", false,
+			"copy each prefetched file to a second node's buffer disk so reads survive the owner's death")
 	)
 	flag.Parse()
 
@@ -53,6 +59,18 @@ func main() {
 	if *retries <= 0 {
 		*retries = -1 // flag 0 means "no retries"; config 0 means "default"
 	}
+	var peerAddrs []string
+	if *peers != "" {
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				peerAddrs = append(peerAddrs, a)
+			}
+		}
+		if *self < 0 || *self >= len(peerAddrs) {
+			fmt.Fprintf(os.Stderr, "eevfs-server: -self %d outside -peers list of %d\n", *self, len(peerAddrs))
+			os.Exit(2)
+		}
+	}
 
 	var reg *telemetry.Registry
 	if *adminAddr != "" {
@@ -60,10 +78,13 @@ func main() {
 	}
 
 	srv, err := fs.StartServer(fs.ServerConfig{
-		Addr:      *addr,
-		NodeAddrs: addrs,
-		StateFile: *state,
-		Metrics:   reg,
+		Addr:           *addr,
+		NodeAddrs:      addrs,
+		StateFile:      *state,
+		Metrics:        reg,
+		Peers:          peerAddrs,
+		Self:           *self,
+		MirrorPrefetch: *mirrorPrefetch,
 		Transport: proto.TransportConfig{
 			DialTimeout: *dialTimeout,
 			RTTimeout:   *rtTimeout,
@@ -79,11 +100,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "eevfs-server: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("eevfs-server listening on %s, %d storage nodes\n", srv.Addr(), len(addrs))
+	if len(peerAddrs) > 0 {
+		fmt.Printf("eevfs-server listening on %s, %d storage nodes, group member %d/%d\n",
+			srv.Addr(), len(addrs), *self, len(peerAddrs))
+	} else {
+		fmt.Printf("eevfs-server listening on %s, %d storage nodes\n", srv.Addr(), len(addrs))
+	}
 
 	if *adminAddr != "" {
 		admin, err := telemetry.StartAdmin(*adminAddr, reg, func() any {
-			return map[string]any{"healthy_nodes": srv.Healthy()}
+			primary, epoch, seq := srv.ReplStatus()
+			return map[string]any{
+				"healthy_nodes": srv.Healthy(),
+				"primary":       primary,
+				"repl_epoch":    epoch,
+				"repl_seq":      seq,
+			}
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eevfs-server: admin listener: %v\n", err)

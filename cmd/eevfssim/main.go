@@ -8,7 +8,9 @@
 //	eevfssim -seed=1 -n=200            # 200 scenarios from seed 1
 //	eevfssim -duration=10m             # soak until the clock runs out
 //	eevfssim -repro='v1,seed=42,...'   # replay one encoded scenario
+//	eevfssim -repro='live,v1,seed=3'   # replay one live TCP-stack scenario
 //	eevfssim -live=20                  # every 20th iteration: real TCP stack
+//	eevfssim -live-failover=200        # N kill-the-primary failover scenarios
 //
 // Exit status is 0 when every scenario upholds every oracle, 1 on any
 // failure, 2 on usage errors.
@@ -30,6 +32,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "run until this much wall time has passed (overrides -n)")
 		repro    = flag.String("repro", "", "replay one encoded scenario (from a previous failure) and exit")
 		live     = flag.Int("live", 0, "every N-th iteration, also run a live TCP-stack scenario (0 = never)")
+		failover = flag.Int("live-failover", 0, "run N live scenarios with a replicated server group and a forced primary kill, then exit (0 = disabled)")
 		out      = flag.String("out", "", "append failing repro commands to this file")
 		verbose  = flag.Bool("v", false, "log every scenario, not just failures")
 	)
@@ -48,6 +51,10 @@ func main() {
 		}
 		outFile = f
 		defer outFile.Close()
+	}
+
+	if *failover > 0 {
+		os.Exit(failoverBattery(*seed, *failover, *verbose, outFile))
 	}
 
 	// The soak loop itself may use wall time (-duration is an operator
@@ -79,23 +86,13 @@ func main() {
 		}
 		if *live > 0 && i%*live == 0 {
 			ls := simtest.GenerateLive(*seed + uint64(i))
-			dir, err := os.MkdirTemp("", "eevfssim-live-")
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "eevfssim: %v\n", err)
-				os.Exit(2)
-			}
 			if *verbose {
-				fmt.Printf("live seed=%d nodes=%d ops=%d kill=%d\n", ls.Seed, ls.Nodes, ls.Ops, ls.KillNode)
+				fmt.Printf("live seed=%d nodes=%d ops=%d kill=%d srv=%d kp=%v\n",
+					ls.Seed, ls.Nodes, ls.Ops, ls.KillNode, ls.Servers, ls.KillPrimary)
 			}
-			if err := simtest.CheckLive(ls, dir); err != nil {
+			if !runLive(ls, outFile) {
 				failures++
-				line := fmt.Sprintf("FAIL live seed=%d: %v", ls.Seed, err)
-				fmt.Println(line)
-				if outFile != nil {
-					fmt.Fprintln(outFile, line)
-				}
 			}
-			os.RemoveAll(dir)
 		}
 	}
 	fmt.Printf("eevfssim: %d scenarios, %d failures, %s\n", ran, failures, time.Since(start).Round(time.Millisecond))
@@ -104,8 +101,22 @@ func main() {
 	}
 }
 
-// replay decodes and re-checks one scenario, printing the verdict.
+// replay decodes and re-checks one scenario — simulator or live,
+// distinguished by the "live," prefix — printing the verdict.
 func replay(encoded string) int {
+	if simtest.IsLiveRepro(encoded) {
+		ls, err := simtest.DecodeLiveScenario(encoded)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eevfssim: %v\n", err)
+			return 2
+		}
+		if f := checkLiveTmp(ls); f != nil {
+			fmt.Printf("FAIL oracle=%s seed=%d: %s\n", f.Oracle, ls.Seed, f.Msg)
+			return 1
+		}
+		fmt.Printf("PASS live seed=%d: all oracles hold\n", ls.Seed)
+		return 0
+	}
 	s, err := simtest.DecodeScenario(encoded)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eevfssim: %v\n", err)
@@ -116,6 +127,59 @@ func replay(encoded string) int {
 		return 1
 	}
 	fmt.Printf("PASS seed=%d: all oracles hold\n", s.Seed)
+	return 0
+}
+
+// checkLiveTmp runs one live scenario in a throwaway scratch directory.
+func checkLiveTmp(ls simtest.LiveScenario) *simtest.LiveFailure {
+	dir, err := os.MkdirTemp("", "eevfssim-live-")
+	if err != nil {
+		return &simtest.LiveFailure{Oracle: "setup", Msg: err.Error()}
+	}
+	defer os.RemoveAll(dir)
+	return simtest.CheckLive(ls, dir)
+}
+
+// runLive checks one live scenario and, on failure, shrinks it to a
+// minimal same-oracle reproducer before printing the one-line repro.
+// It reports whether the scenario passed.
+func runLive(ls simtest.LiveScenario, outFile *os.File) bool {
+	f := checkLiveTmp(ls)
+	if f == nil {
+		return true
+	}
+	min := simtest.ShrinkLive(ls, f, checkLiveTmp)
+	line := fmt.Sprintf("FAIL live oracle=%s seed=%d (shrunk %d->%d ops in %d runs): %s\n  repro: %s",
+		min.Failure.Oracle, ls.Seed, ls.Ops, min.Scenario.Ops, min.Runs,
+		min.Failure.Msg, simtest.LiveReproCommand(min.Scenario))
+	fmt.Println(line)
+	if outFile != nil {
+		fmt.Fprintln(outFile, line)
+	}
+	return false
+}
+
+// failoverBattery runs n live scenarios that each boot a replicated
+// server group and kill the primary mid-run — the soak-scale proof
+// behind the failover test battery.
+func failoverBattery(seed uint64, n int, verbose bool, outFile *os.File) int {
+	failures := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ls := simtest.GenerateLive(seed + uint64(i))
+		ls.Servers = 2 + i%2 // alternate 2- and 3-member groups
+		ls.KillPrimary = true
+		if verbose {
+			fmt.Printf("failover seed=%d nodes=%d ops=%d srv=%d\n", ls.Seed, ls.Nodes, ls.Ops, ls.Servers)
+		}
+		if !runLive(ls, outFile) {
+			failures++
+		}
+	}
+	fmt.Printf("eevfssim: %d failover scenarios, %d failures, %s\n", n, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return 1
+	}
 	return 0
 }
 

@@ -1,8 +1,10 @@
 package fs
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"eevfs/internal/proto"
 )
@@ -13,6 +15,27 @@ type ClientConfig struct {
 	Dialer proto.Dialer
 	// Transport bounds and retries every round trip.
 	Transport proto.TransportConfig
+	// FailoverRetries bounds how many extra attempts a server operation
+	// gets across not-primary redirects and — with multiple server
+	// addresses — server transport faults (default 8; -1 disables).
+	FailoverRetries int
+	// FailoverBackoff is the base pause between failover attempts; it
+	// grows linearly so a group mid-election has time to settle
+	// (default 25ms).
+	FailoverBackoff time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.FailoverRetries == 0 {
+		c.FailoverRetries = 8
+	}
+	if c.FailoverRetries < 0 {
+		c.FailoverRetries = 0
+	}
+	if c.FailoverBackoff == 0 {
+		c.FailoverBackoff = 25 * time.Millisecond
+	}
+	return c
 }
 
 // Client talks to a storage server for metadata and directly to storage
@@ -20,12 +43,20 @@ type ClientConfig struct {
 // concurrent use: every endpoint multiplexes its one connection, so any
 // number of goroutines can have round trips in flight to the server and
 // to each node simultaneously, correlated by request id.
+//
+// Against a replicated server group the client tracks which member it
+// believes is primary: a typed not-primary rejection switches it to the
+// redirect hint, and a transport fault rotates it to the next known
+// address. All of that happens inside serverRT, so callers see at most
+// a typed error after the retry budget runs out.
 type Client struct {
-	cfg    ClientConfig
-	server *proto.Endpoint
+	cfg     ClientConfig
+	servers []string // all known server addresses, dial order
 
-	mu    sync.Mutex
-	nodes map[string]*proto.Endpoint
+	mu      sync.Mutex
+	current string // address currently believed primary
+	eps     map[string]*proto.Endpoint
+	nodes   map[string]*proto.Endpoint
 }
 
 // Dial connects to the storage server with default transport settings.
@@ -36,22 +67,48 @@ func Dial(serverAddr string) (*Client, error) {
 // DialConfig connects to the storage server with explicit transport
 // settings.
 func DialConfig(serverAddr string, cfg ClientConfig) (*Client, error) {
+	return DialCluster([]string{serverAddr}, cfg)
+}
+
+// DialCluster connects to a replicated server group. The first
+// reachable address becomes the believed primary; serverRT follows
+// not-primary redirects from there.
+func DialCluster(serverAddrs []string, cfg ClientConfig) (*Client, error) {
+	if len(serverAddrs) == 0 {
+		return nil, errors.New("fs: no server addresses")
+	}
 	c := &Client{
-		cfg:    cfg,
-		server: proto.NewEndpoint(serverAddr, cfg.Dialer, cfg.Transport),
-		nodes:  make(map[string]*proto.Endpoint),
+		cfg:     cfg.withDefaults(),
+		servers: append([]string(nil), serverAddrs...),
+		eps:     make(map[string]*proto.Endpoint),
+		nodes:   make(map[string]*proto.Endpoint),
 	}
-	if err := c.server.Connect(); err != nil {
-		return nil, fmt.Errorf("fs: dialing server %s: %w", serverAddr, err)
+	var firstErr error
+	for _, addr := range c.servers {
+		if err := c.serverEp(addr).Connect(); err == nil {
+			c.mu.Lock()
+			c.current = addr
+			c.mu.Unlock()
+			return c, nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
 	}
-	return c, nil
+	c.Close()
+	return nil, fmt.Errorf("fs: dialing server %s: %w", c.servers[0], firstErr)
 }
 
 // Close shuts down all connections.
 func (c *Client) Close() error {
-	err := c.server.Close()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var err error
+	for _, ep := range c.eps {
+		if cerr := ep.Close(); err == nil {
+			err = cerr
+		}
+	}
+	c.eps = map[string]*proto.Endpoint{}
 	for _, ep := range c.nodes {
 		ep.Close()
 	}
@@ -59,15 +116,93 @@ func (c *Client) Close() error {
 	return err
 }
 
-// serverRT performs one round trip on the server connection. Remote
-// failures come back re-typed so callers can errors.Is against
-// ErrNodeUnavailable / ErrFileNotFound.
-func (c *Client) serverRT(t proto.Type, payload []byte) (proto.Type, []byte, error) {
-	rt, rp, err := c.server.Call(t, payload)
-	if err != nil {
-		return rt, rp, mapRemote(err)
+// serverEp returns the (cached) endpoint for one server address.
+func (c *Client) serverEp(addr string) *proto.Endpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep, ok := c.eps[addr]
+	if !ok {
+		ep = proto.NewEndpoint(addr, c.cfg.Dialer, c.cfg.Transport)
+		c.eps[addr] = ep
 	}
-	return rt, rp, nil
+	return ep
+}
+
+// currentServer returns the address currently believed primary.
+func (c *Client) currentServer() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == "" {
+		c.current = c.servers[0]
+	}
+	return c.current
+}
+
+// switchServer repoints the client at addr (a redirect hint), learning
+// it if it was not in the configured list.
+func (c *Client) switchServer(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.current = addr
+	known := false
+	for _, a := range c.servers {
+		if a == addr {
+			known = true
+			break
+		}
+	}
+	if !known {
+		c.servers = append(c.servers, addr)
+	}
+}
+
+// rotateServer advances from a failed address to the next configured
+// one, unless a concurrent operation already moved on.
+func (c *Client) rotateServer(failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current != failed {
+		return
+	}
+	for i, a := range c.servers {
+		if a == failed {
+			c.current = c.servers[(i+1)%len(c.servers)]
+			return
+		}
+	}
+	c.current = c.servers[0]
+}
+
+// serverRT performs one round trip against the believed primary,
+// following not-primary redirects and rotating on transport faults
+// while the retry budget lasts. Remote failures come back re-typed so
+// callers can errors.Is against the fs sentinels.
+func (c *Client) serverRT(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.FailoverRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * c.cfg.FailoverBackoff)
+		}
+		addr := c.currentServer()
+		rt, rp, err := c.serverEp(addr).Call(t, payload)
+		if err == nil {
+			return rt, rp, nil
+		}
+		lastErr = mapRemote(err)
+		switch {
+		case errors.Is(lastErr, ErrNotPrimary):
+			if hint := redirectHint(err); hint != "" && hint != addr {
+				c.switchServer(hint)
+			} else {
+				c.rotateServer(addr)
+			}
+		case isTransportErr(err) && len(c.servers) > 1:
+			c.rotateServer(addr)
+		default:
+			return rt, rp, lastErr
+		}
+	}
+	return 0, nil, lastErr
 }
 
 // nodeRT performs one round trip on a (cached) node endpoint. The
@@ -158,13 +293,15 @@ func (c *Client) ReadAt(name string, off, length int64) (data []byte, fromBuffer
 	return out, resp.FromBuffer, nil
 }
 
-// Write replaces a file's content. buffered reports whether the node's
-// write-buffer area absorbed it (Section III-C).
+// Write replaces a file's content. The lookup declares write intent so
+// the server can invalidate any buffer-disk replica before the new
+// bytes land. buffered reports whether the node's write-buffer area
+// absorbed it (Section III-C).
 func (c *Client) Write(name string, data []byte) (buffered bool, err error) {
 	if len(data) == 0 {
 		return false, fmt.Errorf("fs: refusing to write empty content to %q", name)
 	}
-	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode())
+	_, payload, err := c.serverRT(proto.TLookupWriteReq, proto.LookupReq{Name: name}.Encode())
 	if err != nil {
 		return false, err
 	}

@@ -19,6 +19,37 @@ var ErrNodeUnavailable = errors.New("node unavailable")
 // travels as proto.CodeNotFound.
 var ErrFileNotFound = errors.New("no such file")
 
+// ErrNotPrimary marks client operations sent to a replication follower.
+// Over the wire it travels as proto.CodeNotPrimary with a redirect to
+// the address the follower believes is primary; the client retries
+// there.
+var ErrNotPrimary = errors.New("not the primary metadata server")
+
+// notPrimaryError is the server-side carrier for ErrNotPrimary: it holds
+// the redirect hint that errorPayload puts on the wire.
+type notPrimaryError struct {
+	primary string // believed primary address; "" when unknown (election pending)
+}
+
+func (e *notPrimaryError) Error() string {
+	if e.primary == "" {
+		return "fs: not the primary metadata server (election pending)"
+	}
+	return "fs: not the primary metadata server; primary is " + e.primary
+}
+
+func (e *notPrimaryError) Is(target error) bool { return target == ErrNotPrimary }
+
+// redirectHint extracts the primary-address hint from a (possibly
+// wrapped) remote not-primary error.
+func redirectHint(err error) string {
+	var re *proto.RemoteError
+	if errors.As(err, &re) {
+		return re.Redirect
+	}
+	return ""
+}
+
 // isRemoteErr reports whether err is the peer's application-level
 // failure (a typed proto.RemoteError — previously detected by slicing
 // err.Error(), which broke on wrapped errors).
@@ -38,6 +69,8 @@ func isTransportErr(err error) bool {
 func errCode(err error) proto.Code {
 	var re *proto.RemoteError
 	switch {
+	case errors.Is(err, ErrNotPrimary):
+		return proto.CodeNotPrimary
 	case errors.Is(err, ErrNodeUnavailable):
 		return proto.CodeUnavailable
 	case errors.Is(err, ErrFileNotFound):
@@ -62,6 +95,8 @@ func mapRemote(err error) error {
 		return &classifiedError{err: err, is: ErrNodeUnavailable}
 	case proto.CodeNotFound:
 		return &classifiedError{err: err, is: ErrFileNotFound}
+	case proto.CodeNotPrimary:
+		return &classifiedError{err: err, is: ErrNotPrimary}
 	default:
 		return err
 	}
@@ -97,5 +132,10 @@ func (c *deadlineConn) Write(p []byte) (int, error) {
 func errorPayload(err error) []byte {
 	msg := err.Error()
 	msg = strings.TrimPrefix(msg, "remote: ")
-	return proto.ErrorMsg{Msg: msg, Code: errCode(err)}.Encode()
+	var np *notPrimaryError
+	var redirect string
+	if errors.As(err, &np) {
+		redirect = np.primary
+	}
+	return proto.ErrorMsg{Msg: msg, Code: errCode(err), Redirect: redirect}.Encode()
 }

@@ -113,19 +113,24 @@ func (n *Node) loadManifest() error {
 	return nil
 }
 
-// serverState is the storage server's on-disk metadata.
+// serverState is the storage server's on-disk metadata. RepSeq and
+// Epoch only matter for members of a replicated group; pre-replication
+// state files decode with both zero, which is exactly "fresh log".
 type serverState struct {
 	Version  int               `json:"version"`
 	NextID   int64             `json:"next_id"`
 	NextNode int               `json:"next_node"`
+	RepSeq   uint64            `json:"rep_seq,omitempty"`
+	Epoch    uint64            `json:"epoch,omitempty"`
 	Files    []serverFileEntry `json:"files"`
 }
 
 type serverFileEntry struct {
-	Name string `json:"name"`
-	ID   int    `json:"id"`
-	Size int64  `json:"size"`
-	Node int    `json:"node"`
+	Name    string `json:"name"`
+	ID      int    `json:"id"`
+	Size    int64  `json:"size"`
+	Node    int    `json:"node"`
+	Replica int    `json:"replica,omitempty"`
 }
 
 // saveState snapshots the server metadata to cfg.StateFile (no-op when
@@ -145,11 +150,13 @@ func (s *Server) saveState() {
 		Version:  manifestVersion,
 		NextID:   s.nextID.Load(),
 		NextNode: int(s.nextNode.Load()),
+		RepSeq:   s.repSeqA.Load(),
+		Epoch:    s.epoch.Load(),
 	}
 	for _, name := range s.meta.Names() {
 		if fi, ok := s.meta.LookupName(name); ok {
 			st.Files = append(st.Files, serverFileEntry{
-				Name: fi.Name, ID: fi.ID, Size: fi.Size, Node: fi.Node,
+				Name: fi.Name, ID: fi.ID, Size: fi.Size, Node: fi.Node, Replica: fi.Replica,
 			})
 		}
 	}
@@ -192,13 +199,18 @@ func (s *Server) loadState() error {
 			return fmt.Errorf("fs: state file %q on node %d, server has %d", f.Name, f.Node, len(s.nodes))
 		}
 		if err := s.meta.Put(metadata.FileInfo{
-			Name: f.Name, ID: f.ID, Size: f.Size, Node: f.Node,
+			Name: f.Name, ID: f.ID, Size: f.Size, Node: f.Node, Replica: f.Replica,
 		}); err != nil {
 			return err
 		}
 	}
 	s.nextID.Store(st.NextID)
 	s.nextNode.Store(int64(st.NextNode))
+	s.repSeq = st.RepSeq
+	s.repSeqA.Store(st.RepSeq)
+	if st.Epoch > 0 {
+		s.epoch.Store(st.Epoch)
+	}
 	for _, f := range st.Files {
 		if f.ID >= 0 && int64(f.ID) < st.NextID {
 			s.sizes.set(int64(f.ID), f.Size)

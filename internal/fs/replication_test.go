@@ -1,0 +1,606 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eevfs/internal/disk"
+	"eevfs/internal/faultnet"
+	"eevfs/internal/proto"
+	"eevfs/internal/simtest/leak"
+)
+
+// startGroup boots numServers metadata servers over numNodes storage
+// nodes. Listeners are pre-bound so every member knows the full peer
+// list before any member starts; server 0 boots as primary. Individual
+// servers are killed through the returned group (Close is idempotent).
+type testGroup struct {
+	t       *testing.T
+	servers []*Server
+	addrs   []string // server client addresses
+	nodes   []*Node
+	closed  []bool
+}
+
+func startGroup(t *testing.T, numServers, numNodes int, tweak func(int, *ServerConfig)) *testGroup {
+	t.Helper()
+	leak.Check(t)
+	quiet := log.New(io.Discard, "", 0)
+
+	g := &testGroup{t: t, closed: make([]bool, numServers)}
+	var nodeAddrs []string
+	for i := 0; i < numNodes; i++ {
+		n, err := StartNode(NodeConfig{
+			Addr:             "127.0.0.1:0",
+			RootDir:          t.TempDir(),
+			DataDisks:        2,
+			DataModel:        disk.ModelType1,
+			BufferModel:      disk.ModelType1,
+			IdleThresholdSec: 5,
+			TimeScale:        2000,
+			WriteTimeout:     time.Second,
+			Logger:           quiet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		g.nodes = append(g.nodes, n)
+		nodeAddrs = append(nodeAddrs, n.Addr())
+	}
+
+	lns := make([]net.Listener, numServers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		g.addrs = append(g.addrs, ln.Addr().String())
+	}
+	for i := 0; i < numServers; i++ {
+		cfg := ServerConfig{
+			NodeAddrs: nodeAddrs,
+			Logger:    quiet,
+			Transport: chaosTransport(),
+			Health: HealthConfig{
+				FailThreshold: 2,
+				ProbeInterval: 20 * time.Millisecond,
+			},
+			WriteTimeout: time.Second,
+			Peers:        g.addrs,
+			Self:         i,
+			Listener:     lns[i],
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		srv, err := StartServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := i
+		t.Cleanup(func() { g.kill(idx) })
+		g.servers = append(g.servers, srv)
+	}
+	return g
+}
+
+func (g *testGroup) kill(i int) {
+	if g.closed[i] {
+		return
+	}
+	g.closed[i] = true
+	g.servers[i].Close()
+}
+
+// currentPrimary polls the surviving servers until exactly one claims
+// primary, and returns its index.
+func (g *testGroup) currentPrimary(timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		idx := -1
+		count := 0
+		for i, srv := range g.servers {
+			if g.closed[i] {
+				continue
+			}
+			if srv.IsPrimary() {
+				idx = i
+				count++
+			}
+		}
+		if count == 1 {
+			return idx, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return -1, errors.New("no unique primary emerged")
+}
+
+// waitConverged polls until every surviving server reports the same
+// file set as the primary.
+func (g *testGroup) waitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		pi, err := g.currentPrimary(timeout)
+		if err != nil {
+			return err
+		}
+		want := g.servers[pi].Files()
+		ok := true
+		for i, srv := range g.servers {
+			if g.closed[i] || i == pi {
+				continue
+			}
+			got := srv.Files()
+			if !reflect.DeepEqual(got, want) {
+				ok = false
+				last = fmt.Sprintf("server %d has %d files, primary %d has %d", i, len(got), pi, len(want))
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("replicas never converged: %s", last)
+}
+
+// TestReplicatedGroupServes: a 3-server group behaves like one server —
+// creates, reads, deletes — and followers redirect rather than serve.
+func TestReplicatedGroupServes(t *testing.T) {
+	g := startGroup(t, 3, 2, nil)
+
+	// Dialing a follower first must work: the redirect points the client
+	// at the primary.
+	cl, err := DialCluster([]string{g.addrs[2], g.addrs[1], g.addrs[0]}, ClientConfig{
+		Transport: chaosTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	content := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("rep-%d", i)
+		data := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+		if err := cl.Create(name, data); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		content[name] = data
+	}
+	for name, want := range content {
+		got, _, err := cl.Read(name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %s: wrong content", name)
+		}
+	}
+	if err := cl.Delete("rep-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.waitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Followers hold the same namespace but refuse to serve it.
+	follower := g.servers[1]
+	if follower.IsPrimary() {
+		t.Fatal("server 1 should be a follower")
+	}
+	if got := len(follower.Files()); got != 5 {
+		t.Fatalf("follower has %d files, want 5", got)
+	}
+	fcl, err := DialConfig(g.addrs[1], ClientConfig{
+		Transport:       chaosTransport(),
+		FailoverRetries: -1, // do not follow the redirect: we want the raw rejection
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fcl.Close()
+	_, _, err = fcl.Read("rep-1")
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("follower read = %v, want ErrNotPrimary", err)
+	}
+	if hint := redirectHint(err); hint != g.addrs[0] {
+		t.Fatalf("redirect hint %q, want %q", hint, g.addrs[0])
+	}
+}
+
+// TestFailoverPromotesAndServes: kill the primary; a follower promotes,
+// re-registers the nodes, and the same client keeps working.
+func TestFailoverPromotesAndServes(t *testing.T) {
+	g := startGroup(t, 3, 2, nil)
+	cl, err := DialCluster(g.addrs, ClientConfig{Transport: chaosTransport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Create("before", bytes.Repeat([]byte{'x'}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	g.kill(0)
+	pi, err := g.currentPrimary(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi == 0 {
+		t.Fatal("dead server still counted as primary")
+	}
+	// The acked create survived the crash.
+	if got, _, err := cl.Read("before"); err != nil || len(got) != 256 {
+		t.Fatalf("read across failover: %d bytes, %v", len(got), err)
+	}
+	// New mutations land on the new primary.
+	if err := cl.Create("after", bytes.Repeat([]byte{'y'}, 128)); err != nil {
+		t.Fatalf("create after failover: %v", err)
+	}
+	if err := g.waitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Node re-registration: the new primary owns a fresh health view.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, h := range g.servers[pi].Healthy() {
+			all = all && h
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("new primary never saw all nodes healthy: %v", g.servers[pi].Healthy())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, epoch, _ := g.servers[pi].ReplStatus()
+	if epoch < 2 {
+		t.Fatalf("promotion did not bump the epoch: %d", epoch)
+	}
+}
+
+// TestChaosFailoverPipelined: clients pipeline creates and reads while
+// the primary dies. Invariants: only typed errors surface, and every
+// acked create is readable after the dust settles ("no lost creates").
+func TestChaosFailoverPipelined(t *testing.T) {
+	g := startGroup(t, 3, 2, nil)
+
+	const workers = 4
+	const opsPerWorker = 30
+	var (
+		mu    sync.Mutex
+		acked []string
+	)
+	errCh := make(chan error, workers*opsPerWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := DialCluster(g.addrs, ClientConfig{
+				Transport:       chaosTransport(),
+				FailoverRetries: 20,
+				FailoverBackoff: 10 * time.Millisecond,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < opsPerWorker; i++ {
+				name := fmt.Sprintf("w%d-f%d", w, i)
+				err := cl.Create(name, bytes.Repeat([]byte{byte('a' + w)}, 64+i))
+				if err == nil {
+					mu.Lock()
+					acked = append(acked, name)
+					mu.Unlock()
+				} else if !typedTestErr(err) {
+					errCh <- fmt.Errorf("create %s failed untyped: %w", name, err)
+					return
+				}
+				if _, _, err := cl.Read(name); err != nil && !typedTestErr(err) {
+					errCh <- fmt.Errorf("read %s failed untyped: %w", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Let the workers build up traffic, then kill the primary under them.
+	time.Sleep(50 * time.Millisecond)
+	g.kill(0)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	pi, err := g.currentPrimary(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redirect must eventually land on the new primary and serve.
+	cl, err := DialCluster(g.addrs, ClientConfig{Transport: chaosTransport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	have := map[string]bool{}
+	for _, fi := range g.servers[pi].Files() {
+		have[fi.Name] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range acked {
+		if !have[name] {
+			t.Fatalf("acked create %s lost across failover (%d acked, %d survived)",
+				name, len(acked), len(have))
+		}
+		if _, _, err := cl.Read(name); err != nil {
+			t.Fatalf("acked create %s unreadable after failover: %v", name, err)
+		}
+	}
+}
+
+// typedTestErr mirrors the simtest typedError contract: sentinels,
+// remote errors, transport errors. Anything else is an invariant
+// violation.
+func typedTestErr(err error) bool {
+	var te *proto.TransportError
+	var re *proto.RemoteError
+	return errors.Is(err, ErrNodeUnavailable) || errors.Is(err, ErrFileNotFound) ||
+		errors.Is(err, ErrNotPrimary) || errors.As(err, &te) || errors.As(err, &re)
+}
+
+// snapshotBytes grabs a follower's state fingerprint under its own
+// replication lock, with the member identity zeroed so two different
+// followers can be compared byte-for-byte.
+func snapshotBytes(s *Server) []byte {
+	s.repMu.Lock()
+	snap := s.snapshotLocked()
+	s.repMu.Unlock()
+	snap.From = 0
+	return snap.Encode()
+}
+
+// TestOpLogReplayDeterminism: two followers fed the same op log land in
+// byte-identical states; duplicates ack idempotently; gaps are loud.
+func TestOpLogReplayDeterminism(t *testing.T) {
+	g := startGroup(t, 3, 2, nil)
+	f1, f2 := g.servers[1], g.servers[2]
+
+	// One real create through the group pins both followers at seq 1 and
+	// guarantees the primary's initial snapshot resync is behind us, so
+	// the hand-fed appends below cannot race it.
+	cl, err := DialCluster(g.addrs, ClientConfig{Transport: chaosTransport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Create("seed", bytes.Repeat([]byte{'s'}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.waitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []proto.RepOp{
+		{Seq: 2, Kind: proto.RepOpCreate, Name: "a", ID: 10, Size: 100, Node: 0, Cursor: 1},
+		{Seq: 3, Kind: proto.RepOpCreate, Name: "b", ID: 11, Size: 200, Node: 1, Cursor: 2},
+		{Seq: 4, Kind: proto.RepOpAccess, Records: []proto.RepAccess{
+			{FileID: 10, TimeS: 1, Size: 100}, {FileID: 11, TimeS: 2, Size: 200},
+		}},
+		{Seq: 5, Kind: proto.RepOpReplica, Name: "a", Replica: 2},
+		{Seq: 6, Kind: proto.RepOpDelete, Name: "b"},
+	}
+	req := proto.RepAppendReq{Epoch: 1, From: 0, Ops: ops}
+	for _, f := range []*Server{f1, f2} {
+		resp, err := f.handleRepAppend(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.LastSeq != 6 {
+			t.Fatalf("LastSeq %d, want 6", resp.LastSeq)
+		}
+	}
+	if !reflect.DeepEqual(f1.Files(), f2.Files()) {
+		t.Fatalf("replica states diverge:\n%v\nvs\n%v", f1.Files(), f2.Files())
+	}
+	before := snapshotBytes(f1)
+	if !bytes.Equal(before, snapshotBytes(f2)) {
+		t.Fatal("same op log produced different snapshot bytes")
+	}
+
+	// Duplicate delivery: idempotent ack, state unchanged.
+	resp, err := f1.handleRepAppend(req)
+	if err != nil || resp.LastSeq != 6 {
+		t.Fatalf("duplicate delivery: %+v, %v", resp, err)
+	}
+	if !bytes.Equal(before, snapshotBytes(f1)) {
+		t.Fatal("duplicate delivery mutated state")
+	}
+
+	// Gap: rejected with the gap marker, nothing applied.
+	gap := proto.RepAppendReq{Epoch: 1, From: 0, Ops: []proto.RepOp{
+		{Seq: 9, Kind: proto.RepOpCreate, Name: "z", ID: 8, Size: 1, Node: 0},
+	}}
+	if _, err := f1.handleRepAppend(gap); err == nil || !strings.Contains(err.Error(), repMsgGap) {
+		t.Fatalf("gap delivery: %v, want %q", err, repMsgGap)
+	}
+	if _, ok := f1.meta.LookupName("z"); ok {
+		t.Fatal("gapped op was applied")
+	}
+
+	// Stale epoch: fenced.
+	stale := proto.RepAppendReq{Epoch: 0, From: 0, Ops: nil}
+	if _, err := f1.handleRepAppend(stale); err == nil || !strings.Contains(err.Error(), repMsgStaleEpoch) {
+		t.Fatalf("stale epoch: %v, want %q", err, repMsgStaleEpoch)
+	}
+}
+
+// TestReplicaFallbackRead: a mirrored file stays readable while its
+// owner is down, and a write invalidates the mirror so no stale bytes
+// can ever be served.
+func TestReplicaFallbackRead(t *testing.T) {
+	leak.Check(t)
+	quiet := log.New(io.Discard, "", 0)
+	serverNet := faultnet.New(1)
+	clientNet := faultnet.New(2)
+	var nodeAddrs []string
+	for i := 0; i < 2; i++ {
+		n, err := StartNode(NodeConfig{
+			Addr:             "127.0.0.1:0",
+			RootDir:          t.TempDir(),
+			DataDisks:        2,
+			DataModel:        disk.ModelType1,
+			BufferModel:      disk.ModelType1,
+			IdleThresholdSec: 5,
+			TimeScale:        2000,
+			WriteTimeout:     time.Second,
+			Logger:           quiet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		nodeAddrs = append(nodeAddrs, n.Addr())
+	}
+	srv, err := StartServer(ServerConfig{
+		Addr:           "127.0.0.1:0",
+		NodeAddrs:      nodeAddrs,
+		Logger:         quiet,
+		Dialer:         serverNet,
+		Transport:      chaosTransport(),
+		MirrorPrefetch: true,
+		Health: HealthConfig{
+			FailThreshold: 2,
+			ProbeInterval: 20 * time.Millisecond,
+		},
+		WriteTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := DialConfig(srv.Addr(), ClientConfig{
+		Dialer:    clientNet,
+		Transport: chaosTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	data := bytes.Repeat([]byte{'m'}, 2048)
+	if err := cl.Create("hot", data); err != nil {
+		t.Fatal(err)
+	}
+	// Journal some popularity, then prefetch: the mirror rides along.
+	for i := 0; i < 3; i++ {
+		if _, _, err := cl.Read("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Prefetch(1); err != nil {
+		t.Fatal(err)
+	}
+	fi, ok := srv.meta.LookupName("hot")
+	if !ok {
+		t.Fatal("hot vanished")
+	}
+	ridx, has := fi.ReplicaNode()
+	if !has {
+		t.Fatal("prefetch did not mirror the file")
+	}
+	if ridx == fi.Node {
+		t.Fatal("mirror landed on the owner")
+	}
+
+	// Partition the owner; the read must be served from the mirror.
+	ownerAddr := srv.cfg.NodeAddrs[fi.Node]
+	serverNet.Partition(ownerAddr)
+	clientNet.Partition(ownerAddr)
+	waitHealthy(t, srv, fi.Node, false)
+	got, _, err := cl.Read("hot")
+	if err != nil {
+		t.Fatalf("read with owner down: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mirror served wrong bytes")
+	}
+	// Writes never go to the mirror: with the owner down they fail typed.
+	if _, err := cl.Write("hot", bytes.Repeat([]byte{'n'}, 64)); !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("write with owner down = %v, want ErrNodeUnavailable", err)
+	}
+
+	// Heal, overwrite (write-intent lookup drops the mirror), re-kill the
+	// owner: the stale copy must NOT be served.
+	serverNet.Heal(ownerAddr)
+	clientNet.Heal(ownerAddr)
+	waitHealthy(t, srv, fi.Node, true)
+	if _, err := cl.Write("hot", bytes.Repeat([]byte{'n'}, 64)); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if fi, _ := srv.meta.LookupName("hot"); fi.Replica != 0 {
+		t.Fatalf("write did not invalidate the mirror marker: %d", fi.Replica)
+	}
+	serverNet.Partition(ownerAddr)
+	clientNet.Partition(ownerAddr)
+	waitHealthy(t, srv, fi.Node, false)
+	if _, _, err := cl.Read("hot"); !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("read after invalidation = %v, want ErrNodeUnavailable (stale mirror must not serve)", err)
+	}
+}
+
+// TestChaosSilentReplicationLoss: with the convergence-bug injection
+// armed, an acked create after the silence point must vanish on
+// failover — proving the oracle in the simtest battery detects real
+// divergence, not a vacuous truth.
+func TestChaosSilentReplicationLoss(t *testing.T) {
+	g := startGroup(t, 2, 1, func(i int, cfg *ServerConfig) {
+		if i == 0 {
+			cfg.ReplChaosSilentAfter = 1
+		}
+	})
+	cl, err := DialCluster(g.addrs, ClientConfig{Transport: chaosTransport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Create("replicated", bytes.Repeat([]byte{'r'}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("silent", bytes.Repeat([]byte{'s'}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	g.kill(0)
+	pi, err := g.currentPrimary(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, fi := range g.servers[pi].Files() {
+		names[fi.Name] = true
+	}
+	if !names["replicated"] {
+		t.Fatal("pre-silence create lost")
+	}
+	if names["silent"] {
+		t.Fatal("injection had no effect: post-silence create replicated anyway")
+	}
+}

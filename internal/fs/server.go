@@ -61,6 +61,29 @@ type ServerConfig struct {
 	// WriteTimeout bounds writing one response frame to a client, so a
 	// stalled client cannot pin a serving goroutine (default 30s).
 	WriteTimeout time.Duration
+	// Peers lists every metadata server of a replicated group (client
+	// addresses, including this server's own), index-aligned across the
+	// group. Empty means standalone: no replication, exactly the classic
+	// single-server behavior.
+	Peers []string
+	// Self is this server's index in Peers. Index 0 boots as primary on
+	// a cold start; any server follows an already-running primary it
+	// discovers at startup.
+	Self int
+	// Listener, when set, is used instead of listening on Addr. Tests
+	// pre-bind ephemeral ports with it so a replicated group can know
+	// every member's address before any member starts.
+	Listener net.Listener
+	// MirrorPrefetch copies each prefetched file to a second node's
+	// buffer disk and records the replica, so reads survive the owning
+	// node's death (pre-work for full data replication).
+	MirrorPrefetch bool
+	// ReplChaosSilentAfter is a test-only fault injection: a primary
+	// stops replicating (but keeps acking clients) once its op log
+	// passes this seq. It exists so the failover test battery can prove
+	// the convergence oracle and shrinker catch real divergence. Zero
+	// disables it.
+	ReplChaosSilentAfter int
 	// Metrics, when set, receives the server's telemetry: per-op latency
 	// histograms and error counters (server.op.*), node-health
 	// transitions (server.health.*), placement decisions
@@ -149,7 +172,28 @@ type Server struct {
 	saveMu  sync.Mutex // serializes state-file snapshots
 	wg      sync.WaitGroup
 	probeWg sync.WaitGroup
+	repWg   sync.WaitGroup
 	stop    chan struct{}
+
+	// Replication plane (see replication.go). peers is index-aligned
+	// with cfg.Peers; peers[cfg.Self] is nil. repMu orders mutations
+	// into the op log and their fan-out to followers; repSeq is the
+	// canonical last-applied seq under repMu, mirrored in repSeqA for
+	// lock-free status answers.
+	peers      []*peerHandle
+	primary    atomic.Bool
+	primaryIdx atomic.Int64
+	epoch      atomic.Uint64
+	forceElect atomic.Bool
+	repMu      sync.Mutex
+	repSeq     uint64
+	repSeqA    atomic.Uint64
+	accessMark int64 // access-journal seq horizon already replicated
+	watchFails int   // consecutive failed primary probes (repLoop-owned)
+
+	replLag    *telemetry.Gauge
+	roleG      *telemetry.Gauge
+	failoversC *telemetry.Counter
 }
 
 // StartServer binds the listener and begins serving. Node daemons must be
@@ -181,6 +225,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	s.healthyNodes = cfg.Metrics.Gauge("server.nodes.healthy")
 	s.healthyNodes.Set(float64(len(cfg.NodeAddrs)))
 	s.accessCtr = cfg.Metrics.Counter("server.accesses")
+	s.replLag = cfg.Metrics.Gauge("server.repl.lag")
+	s.roleG = cfg.Metrics.Gauge("server.repl.primary")
+	s.failoversC = cfg.Metrics.Counter("server.repl.failovers")
 	for i, addr := range cfg.NodeAddrs {
 		tc := cfg.Transport
 		tc.Seed = cfg.Transport.Seed + int64(i) + 1 // decorrelate per-node jitter
@@ -199,9 +246,16 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if err := s.loadState(); err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
+	if err := s.initReplication(); err != nil {
 		return nil, err
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.ln = ln
 	s.wg.Add(1)
@@ -209,6 +263,10 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Health.ProbeInterval > 0 {
 		s.probeWg.Add(1)
 		go s.probeLoop()
+	}
+	if len(s.peers) > 0 {
+		s.repWg.Add(1)
+		go s.repLoop()
 	}
 	return s, nil
 }
@@ -232,9 +290,16 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.wg.Wait()
 	s.probeWg.Wait()
+	s.repWg.Wait()
 	for _, h := range s.nodes {
 		h.ep.Close()
 		h.probe.Close()
+	}
+	for _, p := range s.peers {
+		if p != nil {
+			p.ep.Close()
+			p.probe.Close()
+		}
 	}
 	return err
 }
@@ -273,19 +338,30 @@ func (s *Server) probeLoop() {
 			return
 		case <-ticker.C:
 		}
-		// Probe all nodes concurrently: detection latency stays one
-		// round trip even on wide clusters.
-		var wg sync.WaitGroup
-		for _, h := range s.nodes {
-			wg.Add(1)
-			go func(h *nodeHandle) {
-				defer wg.Done()
-				_, _, err := h.probe.Call(proto.TNodeStatsReq, nil)
-				s.noteNode(h, err)
-			}(h)
+		// Only the primary owns the node-health relationship; a follower
+		// inherits a fresh view through the probe round its promotion
+		// runs (node re-registration on primary change).
+		if !s.isPrimary() {
+			continue
 		}
-		wg.Wait()
+		s.probeNodesOnce()
 	}
+}
+
+// probeNodesOnce probes all nodes concurrently: detection latency stays
+// one round trip even on wide clusters. Also the "re-register every
+// node" step a freshly promoted primary runs.
+func (s *Server) probeNodesOnce() {
+	var wg sync.WaitGroup
+	for _, h := range s.nodes {
+		wg.Add(1)
+		go func(h *nodeHandle) {
+			defer wg.Done()
+			_, _, err := h.probe.Call(proto.TNodeStatsReq, nil)
+			s.noteNode(h, err)
+		}(h)
+	}
+	wg.Wait()
 }
 
 // Healthy reports each node's current health (index-aligned with the
@@ -337,6 +413,39 @@ func (s *Server) dispatch(t proto.Type, payload []byte) (proto.Type, []byte, err
 }
 
 func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+	// Replication frames are server-to-server and valid in every role;
+	// status must stay answerable even mid-election.
+	switch t {
+	case proto.TRepStatusReq:
+		return proto.TRepStatusResp, s.handleRepStatus().Encode(), nil
+	case proto.TRepAppendReq:
+		req, err := proto.DecodeRepAppendReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := s.handleRepAppend(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		return proto.TRepAppendResp, resp.Encode(), nil
+	case proto.TRepSnapshotReq:
+		snap, err := proto.DecodeRepSnapshot(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := s.handleRepSnapshot(snap); err != nil {
+			return 0, nil, err
+		}
+		return proto.TRepSnapshotResp, nil, nil
+	}
+
+	// Client operations only run on the primary: a follower serving even
+	// reads could hand out stale placement during a partition, so it
+	// redirects everything.
+	if len(s.peers) > 0 && !s.isPrimary() {
+		return 0, nil, s.notPrimaryErr()
+	}
+
 	switch t {
 	case proto.TCreateReq:
 		req, err := proto.DecodeCreateReq(payload)
@@ -355,6 +464,17 @@ func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte
 			return 0, nil, err
 		}
 		resp, err := s.handleLookup(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		return proto.TLookupResp, resp.Encode(), nil
+
+	case proto.TLookupWriteReq:
+		req, err := proto.DecodeLookupReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := s.handleLookupWrite(req)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -449,15 +569,48 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 		s.meta.Delete(req.Name) // roll back the claim; the id slot is burned
 		return proto.CreateResp{}, err
 	}
-	s.saveState()
+	// Replicate before acking: once the client sees success, the create
+	// survives a primary crash as long as one in-sync follower does.
+	s.commit(proto.RepOp{
+		Kind: proto.RepOpCreate, Name: req.Name, ID: id, Size: req.Size,
+		Node: int64(nodeIdx), Cursor: s.nextNode.Load(),
+	})
 	return proto.CreateResp{FileID: id, NodeAddr: h.addr}, nil
 }
 
 // handleLookup resolves a name and journals the access (the append-only
-// popularity log of Section IV). Lookups of files on unhealthy nodes fail
-// fast with a typed unavailable error instead of handing the client an
-// address that would hang it.
+// popularity log of Section IV). Lookups of files on unhealthy nodes
+// fall back to a buffer-disk replica when mirroring has placed one on a
+// healthy node; otherwise they fail fast with a typed unavailable error
+// instead of handing the client an address that would hang it.
 func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
+	fi, ok := s.meta.LookupName(req.Name)
+	if !ok {
+		return proto.LookupResp{}, fmt.Errorf("fs: %w %q", ErrFileNotFound, req.Name)
+	}
+	h := s.nodes[fi.Node]
+	if !h.healthy() {
+		ridx, hasReplica := fi.ReplicaNode()
+		if !hasReplica || ridx >= len(s.nodes) || !s.nodes[ridx].healthy() {
+			return proto.LookupResp{}, fmt.Errorf("fs: %w: file %q is on node %s",
+				ErrNodeUnavailable, req.Name, h.addr)
+		}
+		h = s.nodes[ridx] // degraded read from the mirror copy
+	}
+	s.journalAccess(fi)
+	return proto.LookupResp{
+		FileID:   int64(fi.ID),
+		Size:     fi.Size,
+		NodeAddr: h.addr,
+	}, nil
+}
+
+// handleLookupWrite resolves a name for a client about to overwrite the
+// file. It never routes to a replica (writes go to the owner only), and
+// it invalidates any recorded mirror first — the write is about to make
+// that copy stale, and a reader redirected there later must not see old
+// bytes.
+func (s *Server) handleLookupWrite(req proto.LookupReq) (proto.LookupResp, error) {
 	fi, ok := s.meta.LookupName(req.Name)
 	if !ok {
 		return proto.LookupResp{}, fmt.Errorf("fs: %w %q", ErrFileNotFound, req.Name)
@@ -467,6 +620,30 @@ func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 		return proto.LookupResp{}, fmt.Errorf("fs: %w: file %q is on node %s",
 			ErrNodeUnavailable, req.Name, h.addr)
 	}
+	if ridx, hasReplica := fi.ReplicaNode(); hasReplica {
+		fi.Replica = 0
+		if err := s.meta.Put(fi); err != nil {
+			return proto.LookupResp{}, err
+		}
+		s.commit(proto.RepOp{Kind: proto.RepOpReplica, Name: fi.Name, Replica: 0})
+		if ridx < len(s.nodes) {
+			// Best-effort space reclaim on the mirror; the marker is
+			// already gone, so a failure only leaves an orphaned copy.
+			rh := s.nodes[ridx]
+			go s.roundTrip(rh, proto.TNodeDeleteReq,
+				proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode())
+		}
+	}
+	s.journalAccess(fi)
+	return proto.LookupResp{
+		FileID:   int64(fi.ID),
+		Size:     fi.Size,
+		NodeAddr: h.addr,
+	}, nil
+}
+
+// journalAccess appends one popularity record for fi.
+func (s *Server) journalAccess(fi metadata.FileInfo) {
 	s.accesses.Append(trace.Record{ // Seq is assigned atomically by the log
 		TimeS:  float64(s.clock.Now()),
 		Op:     trace.Read,
@@ -474,11 +651,6 @@ func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 		Size:   fi.Size,
 	})
 	s.accessCtr.Inc()
-	return proto.LookupResp{
-		FileID:   int64(fi.ID),
-		Size:     fi.Size,
-		NodeAddr: h.addr,
-	}, nil
 }
 
 func (s *Server) handleDelete(req proto.DeleteReq) error {
@@ -495,8 +667,14 @@ func (s *Server) handleDelete(req proto.DeleteReq) error {
 		proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode()); err != nil {
 		return err
 	}
+	if ridx, hasReplica := fi.ReplicaNode(); hasReplica && ridx < len(s.nodes) {
+		// Drop the mirror copy too; best effort, the namespace entry is
+		// going away regardless.
+		go s.roundTrip(s.nodes[ridx], proto.TNodeDeleteReq,
+			proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode())
+	}
 	s.meta.Delete(req.Name)
-	s.saveState()
+	s.commit(proto.RepOp{Kind: proto.RepOpDelete, Name: req.Name})
 	return nil
 }
 
@@ -508,6 +686,10 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("fs: negative prefetch count %d", k)
 	}
+	// Ship the popularity observed since the last epoch to the followers
+	// first: if this primary dies right after prefetching, its successor
+	// ranks files from the same evidence.
+	s.flushAccessEpoch()
 	// Consistent-enough snapshot without any lock: load the id horizon
 	// first, then counts and sizes. A file created after the horizon load
 	// simply misses this prefetch round; a file mid-create reads count 0
@@ -607,7 +789,100 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 		}(nodeIdx, hints)
 	}
 	wg.Wait()
+	if s.cfg.MirrorPrefetch {
+		s.mirrorFiles(ids)
+	}
 	return total, nil
+}
+
+// mirrorFiles copies each prefetched file to a second healthy node's
+// buffer disk and records the replica, so the read path can fall back
+// there while the owner is down. Failures are logged, never fatal —
+// mirroring is an availability bonus, not a correctness requirement.
+// Known race: a write landing between the copy and the marker commit
+// leaves the marker pointing at pre-write bytes until the next write
+// lookup invalidates it.
+func (s *Server) mirrorFiles(ids []int) {
+	if len(s.nodes) < 2 {
+		return
+	}
+	for _, id := range ids {
+		fi, ok := s.meta.LookupID(id)
+		if !ok {
+			continue // deleted since selection
+		}
+		if ridx, has := fi.ReplicaNode(); has && ridx < len(s.nodes) && s.nodes[ridx].healthy() {
+			continue // already mirrored somewhere usable
+		}
+		owner := s.nodes[fi.Node]
+		if !owner.healthy() {
+			continue
+		}
+		mirror := -1
+		for j := 1; j < len(s.nodes); j++ {
+			cand := (fi.Node + j) % len(s.nodes)
+			if cand != fi.Node && s.nodes[cand].healthy() {
+				mirror = cand
+				break
+			}
+		}
+		if mirror < 0 {
+			continue
+		}
+		if err := s.copyToMirror(fi, mirror); err != nil {
+			s.logger.Printf("mirror %s to node %d: %v", fi.Name, mirror, err)
+			continue
+		}
+		// Re-read before marking: the file may have been deleted or
+		// recreated under the same name while the bytes moved.
+		cur, ok := s.meta.LookupName(fi.Name)
+		if !ok || cur.ID != fi.ID {
+			continue
+		}
+		cur.Replica = mirror + 1
+		if err := s.meta.Put(cur); err != nil {
+			continue
+		}
+		s.commit(proto.RepOp{Kind: proto.RepOpReplica, Name: cur.Name, Replica: int64(mirror + 1)})
+	}
+}
+
+// copyToMirror moves one file's bytes owner -> server -> mirror, then
+// has the mirror stage them on its buffer disk (the paper's prefetch
+// mechanics reused for the replica).
+func (s *Server) copyToMirror(fi metadata.FileInfo, mirror int) error {
+	_, payload, err := s.roundTrip(s.nodes[fi.Node], proto.TNodeReadReq,
+		proto.NodeReadReq{FileID: int64(fi.ID)}.Encode())
+	if err != nil {
+		return err
+	}
+	data, err := proto.DecodeNodeReadResp(payload)
+	if err != nil {
+		return err
+	}
+	mh := s.nodes[mirror]
+	if _, _, err := s.roundTrip(mh, proto.TNodeCreateReq,
+		proto.NodeCreateReq{FileID: int64(fi.ID), Size: int64(len(data.Data))}.Encode()); err != nil {
+		return err
+	}
+	_, wp, err := s.roundTrip(mh, proto.TNodeWriteReq,
+		proto.NodeWriteReq{FileID: int64(fi.ID), Data: data.Data}.Encode())
+	if err != nil {
+		return err
+	}
+	wresp, err := proto.DecodeNodeWriteResp(wp)
+	if err != nil {
+		return err
+	}
+	if !wresp.Buffered {
+		// The write landed on a data disk; stage the copy onto the
+		// mirror's buffer disk like any prefetch.
+		if _, _, err := s.roundTrip(mh, proto.TNodePrefetchReq,
+			proto.NodePrefetchReq{FileIDs: []int64{int64(fi.ID)}}.Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // hintsPerNode derives each file's mean request inter-arrival from the

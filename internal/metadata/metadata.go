@@ -21,6 +21,20 @@ type FileInfo struct {
 	ID   int   // dense id used by traces and placement
 	Size int64 // bytes
 	Node int   // storage node holding the file
+	// Replica is the index+1 of a node holding a buffer-disk copy of the
+	// file (0 = none), so the zero value means "no replica". Reads may
+	// fall back to it while the owning node is unhealthy; any write
+	// invalidates it first.
+	Replica int
+}
+
+// ReplicaNode unpacks the replica marker: the node index holding the
+// buffer-disk copy, and whether one exists.
+func (fi FileInfo) ReplicaNode() (int, bool) {
+	if fi.Replica <= 0 {
+		return 0, false
+	}
+	return fi.Replica - 1, true
 }
 
 // ServerMap is the storage server's metadata: name -> FileInfo. It is safe

@@ -206,6 +206,22 @@ func (s *Sharded) Names() []string {
 	return names
 }
 
+// Clear removes every record. It exists for replication snapshot
+// installs, which rebuild the whole map from the primary's state; the
+// caller serializes installs against other mutators.
+func (s *Sharded) Clear() {
+	for i := range s.names {
+		s.names[i].mu.Lock()
+		s.names[i].m = make(map[string]int)
+		s.names[i].mu.Unlock()
+	}
+	for i := range s.ids {
+		s.ids[i].mu.Lock()
+		s.ids[i].m = make(map[int]FileInfo)
+		s.ids[i].mu.Unlock()
+	}
+}
+
 // validate mirrors ServerMap.Put's input checks.
 func validate(fi FileInfo) error {
 	if fi.Name == "" {

@@ -74,8 +74,10 @@ func FuzzMessageDecoders(f *testing.F) {
 	f.Add(StatsResp{Disks: []DiskStats{{Name: "d", EnergyJ: 1}}}.Encode())
 	f.Add(NodePrefetchReq{FileIDs: []int64{1, 2}}.Encode())
 	f.Add(ErrorMsg{Msg: "boom", Code: CodeUnavailable}.Encode())
+	f.Add(ErrorMsg{Msg: "moved", Code: CodeNotPrimary, Redirect: "127.0.0.1:9"}.Encode())
 	legacy := ErrorMsg{Msg: "legacy"}.Encode()
-	f.Add(legacy[:len(legacy)-4]) // pre-Code encoding: message only
+	f.Add(legacy[:len(legacy)-8]) // pre-Code encoding: message only
+	f.Add(legacy[:len(legacy)-4]) // pre-Redirect encoding: message + code
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -111,6 +113,40 @@ func FuzzMessageDecoders(f *testing.F) {
 			if err != nil || rt != m {
 				t.Fatalf("ErrorMsg round trip mismatch: %+v vs %+v (%v)", m, rt, err)
 			}
+		}
+	})
+}
+
+// FuzzRepDecoders throws arbitrary payloads at the replication frame
+// decoders, which parse input from other servers rather than trusted
+// local state: no panic, no over-allocation from hostile counts, and
+// accepted messages must re-encode cleanly.
+func FuzzRepDecoders(f *testing.F) {
+	f.Add(RepAppendReq{Epoch: 3, From: 1, Ops: []RepOp{
+		{Seq: 9, Kind: RepOpCreate, Name: "f", ID: 4, Size: 100, Node: 1, Cursor: 2},
+		{Seq: 10, Kind: RepOpAccess, Records: []RepAccess{{FileID: 4, TimeS: 1.5, Size: 100}}},
+	}}.Encode())
+	f.Add(RepAppendResp{LastSeq: 10}.Encode())
+	f.Add(RepSnapshot{Epoch: 2, Seq: 7, NextID: 5, NextNode: 1,
+		Files:    []RepFile{{Name: "f", ID: 4, Size: 100, Node: 1, Replica: 2}},
+		Accesses: []RepAccess{{FileID: 4, TimeS: 1.5, Size: 100}},
+	}.Encode())
+	f.Add(RepStatusResp{Primary: true, Epoch: 2, Seq: 7, PrimaryIdx: 0}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if m, err := DecodeRepAppendReq(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeRepAppendResp(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeRepSnapshot(input); err == nil {
+			_ = m.Encode()
+		}
+		if m, err := DecodeRepStatusResp(input); err == nil {
+			_ = m.Encode()
 		}
 	})
 }

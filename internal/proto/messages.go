@@ -22,6 +22,10 @@ const (
 	// CodeUnavailable means the request's target storage node is marked
 	// unhealthy and the operation was refused rather than attempted.
 	CodeUnavailable
+	// CodeNotPrimary means the server is a replication follower; the
+	// accompanying redirect names the address it believes is primary and
+	// the client should retry there.
+	CodeNotPrimary
 )
 
 // String names the code for logs and telemetry counter suffixes.
@@ -33,6 +37,8 @@ func (c Code) String() string {
 		return "not-found"
 	case CodeUnavailable:
 		return "unavailable"
+	case CodeNotPrimary:
+		return "not-primary"
 	default:
 		return fmt.Sprintf("code-%d", uint32(c))
 	}
@@ -40,16 +46,18 @@ func (c Code) String() string {
 
 // ErrorMsg is sent in place of any response when a request fails. The
 // code rides after the message so frames from pre-code peers (string
-// only) still decode.
+// only) still decode; the redirect (CodeNotPrimary only) rides after the
+// code for the same reason.
 type ErrorMsg struct {
-	Msg  string
-	Code Code
+	Msg      string
+	Code     Code
+	Redirect string // address of the believed primary; "" when unknown
 }
 
 // Encode serializes the message body.
 func (m ErrorMsg) Encode() []byte {
 	var e Encoder
-	return e.Str(m.Msg).U32(uint32(m.Code)).Bytes()
+	return e.Str(m.Msg).U32(uint32(m.Code)).Str(m.Redirect).Bytes()
 }
 
 // DecodeErrorMsg parses an ErrorMsg payload.
@@ -59,6 +67,9 @@ func DecodeErrorMsg(b []byte) (ErrorMsg, error) {
 	if d.Err() == nil && d.Remaining() >= 4 {
 		m.Code = Code(d.U32())
 	}
+	if d.Err() == nil && d.Remaining() >= 4 {
+		m.Redirect = d.Str()
+	}
 	return m, d.Err()
 }
 
@@ -66,8 +77,9 @@ func DecodeErrorMsg(b []byte) (ErrorMsg, error) {
 // TError frame. It is distinct from transport failures: the connection
 // remains healthy and the operation must not be retried blindly.
 type RemoteError struct {
-	Code Code
-	Msg  string
+	Code     Code
+	Msg      string
+	Redirect string // primary address hint accompanying CodeNotPrimary
 }
 
 // Error implements error. The "remote: " prefix is kept stable for log
@@ -508,7 +520,7 @@ func RoundTrip(rw io.ReadWriter, t Type, payload []byte) (Type, []byte, error) {
 		if derr != nil {
 			return 0, nil, fmt.Errorf("proto: undecodable error response: %w", derr)
 		}
-		return 0, nil, &RemoteError{Code: em.Code, Msg: em.Msg}
+		return 0, nil, &RemoteError{Code: em.Code, Msg: em.Msg, Redirect: em.Redirect}
 	}
 	return rt, rp, nil
 }

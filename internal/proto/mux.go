@@ -208,7 +208,7 @@ func (m *muxConn) roundTrip(t Type, payload []byte, timeout time.Duration) (Type
 				m.poison(err)
 				return 0, nil, err
 			}
-			return 0, nil, &RemoteError{Code: em.Code, Msg: em.Msg}
+			return 0, nil, &RemoteError{Code: em.Code, Msg: em.Msg, Redirect: em.Redirect}
 		}
 		return res.t, res.payload, nil
 	case <-timer.C:

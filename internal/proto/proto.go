@@ -68,6 +68,20 @@ const (
 	TNodeReadAtResp
 	TNodeHintsReq
 	TNodeHintsResp
+	// Replication frames carry the metadata op log between servers in a
+	// replicated group. Appended after every earlier type so the numeric
+	// values of the existing frames never move (wire compatibility).
+	TRepAppendReq
+	TRepAppendResp
+	TRepSnapshotReq
+	TRepSnapshotResp
+	TRepStatusReq
+	TRepStatusResp
+	// TLookupWriteReq is a lookup that declares write intent; the server
+	// invalidates any buffer-disk replica before answering with a plain
+	// TLookupResp, so a subsequent direct write cannot leave a stale
+	// mirror behind.
+	TLookupWriteReq
 )
 
 // Errors returned by the codec.

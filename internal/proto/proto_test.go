@@ -120,10 +120,12 @@ func TestMessageRoundTrips(t *testing.T) {
 		decode func([]byte) (any, error)
 		want   any
 	}{
-		{"ErrorMsg", ErrorMsg{"boom", CodeGeneric}.Encode,
-			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"boom", CodeGeneric}},
-		{"ErrorMsgCoded", ErrorMsg{"gone", CodeUnavailable}.Encode,
-			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"gone", CodeUnavailable}},
+		{"ErrorMsg", ErrorMsg{"boom", CodeGeneric, ""}.Encode,
+			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"boom", CodeGeneric, ""}},
+		{"ErrorMsgCoded", ErrorMsg{"gone", CodeUnavailable, ""}.Encode,
+			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"gone", CodeUnavailable, ""}},
+		{"ErrorMsgRedirect", ErrorMsg{"moved", CodeNotPrimary, "10.0.0.2:7070"}.Encode,
+			func(b []byte) (any, error) { return DecodeErrorMsg(b) }, ErrorMsg{"moved", CodeNotPrimary, "10.0.0.2:7070"}},
 		{"CreateReq", CreateReq{"f.dat", 123}.Encode,
 			func(b []byte) (any, error) { return DecodeCreateReq(b) }, CreateReq{"f.dat", 123}},
 		{"CreateResp", CreateResp{7, "1.2.3.4:9"}.Encode,

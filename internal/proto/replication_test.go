@@ -1,0 +1,89 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRepAppendRoundTrip(t *testing.T) {
+	m := RepAppendReq{Epoch: 7, From: 2, Ops: []RepOp{
+		{Seq: 1, Kind: RepOpCreate, Name: "a", ID: 0, Size: 512, Node: 1, Cursor: 2},
+		{Seq: 2, Kind: RepOpDelete, Name: "a"},
+		{Seq: 3, Kind: RepOpAccess, Records: []RepAccess{
+			{FileID: 0, TimeS: 0.25, Size: 512},
+			{FileID: 3, TimeS: 1.75, Size: 9},
+		}},
+		{Seq: 4, Kind: RepOpReplica, Name: "b", Replica: 2},
+	}}
+	got, err := DecodeRepAppendReq(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+
+	resp := RepAppendResp{LastSeq: 4}
+	rt, err := DecodeRepAppendResp(resp.Encode())
+	if err != nil || rt != resp {
+		t.Fatalf("resp round trip: %+v, %v", rt, err)
+	}
+}
+
+func TestRepSnapshotRoundTrip(t *testing.T) {
+	m := RepSnapshot{Epoch: 3, Seq: 42, From: 1, NextID: 9, NextNode: 2,
+		Files: []RepFile{
+			{Name: "a", ID: 0, Size: 100, Node: 0},
+			{Name: "b", ID: 1, Size: 200, Node: 1, Replica: 1},
+		},
+		Accesses: []RepAccess{{FileID: 1, TimeS: 2.5, Size: 200}},
+	}
+	got, err := DecodeRepSnapshot(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	// Equal states must fingerprint identically: snapshot bytes are the
+	// cross-replica determinism check.
+	if !bytes.Equal(m.Encode(), got.Encode()) {
+		t.Fatal("re-encoding a decoded snapshot changed its bytes")
+	}
+}
+
+func TestRepStatusRoundTrip(t *testing.T) {
+	for _, m := range []RepStatusResp{
+		{},
+		{Primary: true, Epoch: 1, Seq: 17, PrimaryIdx: 0},
+		{Primary: false, Epoch: 9, Seq: 3, PrimaryIdx: 2},
+	} {
+		got, err := DecodeRepStatusResp(m.Encode())
+		if err != nil || got != m {
+			t.Fatalf("round trip mismatch: %+v vs %+v (%v)", got, m, err)
+		}
+	}
+}
+
+// TestErrorMsgRedirectCompat: redirect-bearing errors must decode on the
+// new path, and pre-redirect (and pre-code) encodings must still parse.
+func TestErrorMsgRedirectCompat(t *testing.T) {
+	full := ErrorMsg{Msg: "fs: not primary", Code: CodeNotPrimary, Redirect: "127.0.0.1:7070"}
+	got, err := DecodeErrorMsg(full.Encode())
+	if err != nil || got != full {
+		t.Fatalf("redirect round trip: %+v vs %+v (%v)", got, full, err)
+	}
+	enc := full.Encode()
+	preRedirect := enc[:len(enc)-(4+len(full.Redirect))]
+	got, err = DecodeErrorMsg(preRedirect)
+	if err != nil || got.Msg != full.Msg || got.Code != full.Code || got.Redirect != "" {
+		t.Fatalf("pre-redirect decode: %+v (%v)", got, err)
+	}
+	var e Encoder
+	preCode := e.Str("old peer").Bytes()
+	got, err = DecodeErrorMsg(preCode)
+	if err != nil || got.Msg != "old peer" || got.Code != CodeGeneric || got.Redirect != "" {
+		t.Fatalf("pre-code decode: %+v (%v)", got, err)
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
+	"reflect"
 	"sync"
 	"time"
 
@@ -28,17 +30,36 @@ import (
 
 // LiveScenario is one seeded chaos run against the real TCP stack.
 type LiveScenario struct {
-	Seed      uint64
-	Nodes     int // storage nodes (2..3)
-	Files     int // files created up front
-	Ops       int // randomized operations after the initial population
-	WritePct  int // probability an op overwrites instead of reading
-	LatencyMS int // faultnet latency injected on every node link
-	PrefetchK int // prefetch budget pushed before the op stream
-	KillNode  int // node index crashed mid-run and restarted (-1: none)
+	Seed        uint64
+	Nodes       int    // storage nodes (2..3)
+	Files       int    // files created up front
+	Ops         int    // randomized operations after the initial population
+	WritePct    int    // probability an op overwrites instead of reading
+	LatencyMS   int    // faultnet latency injected on every node link
+	PrefetchK   int    // prefetch budget pushed before the op stream
+	KillNode    int    // node index crashed mid-run and restarted (-1: none)
+	Servers     int    // metadata servers in the replicated group (0/1: standalone)
+	KillPrimary bool   // crash the primary mid-run (needs Servers > 1)
+	Inject      string // deliberate-bug injection ("" or "silent-replication")
 }
 
-// GenerateLive derives a live scenario from a seed.
+// LiveFailure is one live-oracle violation. Oracle names the invariant
+// that broke, so the shrinker can insist a smaller scenario still fails
+// the *same* way; Msg carries the specifics.
+type LiveFailure struct {
+	Oracle string
+	Msg    string
+}
+
+func (f *LiveFailure) Error() string { return f.Oracle + ": " + f.Msg }
+
+func liveFail(oracle, format string, args ...any) *LiveFailure {
+	return &LiveFailure{Oracle: oracle, Msg: fmt.Sprintf(format, args...)}
+}
+
+// GenerateLive derives a live scenario from a seed. Inject is never set
+// by generation: bug injection is a harness-testing knob, not a soak
+// dimension.
 func GenerateLive(seed uint64) LiveScenario {
 	src := rng.New(seed)
 	s := LiveScenario{
@@ -47,6 +68,7 @@ func GenerateLive(seed uint64) LiveScenario {
 		Files:    3 + src.Intn(8),
 		Ops:      10 + src.Intn(21),
 		KillNode: -1,
+		Servers:  1,
 	}
 	if src.Float64() < 0.5 {
 		s.WritePct = 10 + src.Intn(40)
@@ -57,6 +79,14 @@ func GenerateLive(seed uint64) LiveScenario {
 	s.PrefetchK = src.Intn(s.Files + 1)
 	if src.Float64() < 0.5 {
 		s.KillNode = src.Intn(s.Nodes)
+	}
+	// New dimensions draw after the original ones so the same seed keeps
+	// producing the same base scenario it always did.
+	if src.Float64() < 0.5 {
+		s.Servers = 2 + src.Intn(2)
+		if src.Float64() < 0.6 {
+			s.KillPrimary = true
+		}
 	}
 	return s
 }
@@ -75,25 +105,31 @@ func liveTransport() proto.TransportConfig {
 }
 
 // typedError reports whether err is one of the failure modes the stack
-// is allowed to surface while a node is down: the unavailable/not-found
-// sentinels or a typed transport error. Anything else (hangs are caught
-// by the transport deadlines) is an invariant violation.
+// is allowed to surface while a node or server is down: the
+// unavailable/not-found/not-primary sentinels or a typed transport
+// error. Anything else (hangs are caught by the transport deadlines) is
+// an invariant violation.
 func typedError(err error) bool {
 	var te *proto.TransportError
 	var re *proto.RemoteError
 	return errors.Is(err, fs.ErrNodeUnavailable) ||
 		errors.Is(err, fs.ErrFileNotFound) ||
+		errors.Is(err, fs.ErrNotPrimary) ||
 		errors.As(err, &te) || errors.As(err, &re)
 }
 
 // CheckLive runs one live scenario end to end and returns the first
 // invariant violation (nil: all held). It needs a scratch directory for
 // the node disk roots; the caller owns cleanup of tmpDir.
-func CheckLive(s LiveScenario, tmpDir string) error {
+func CheckLive(s LiveScenario, tmpDir string) *LiveFailure {
 	quiet := log.New(io.Discard, "", 0)
 	serverNet := faultnet.New(int64(s.Seed))
 	clientNet := faultnet.New(int64(s.Seed) + 1)
 	src := rng.New(s.Seed)
+	numServers := s.Servers
+	if numServers < 1 {
+		numServers = 1
+	}
 
 	nodeCfg := func(i int, addr string) fs.NodeConfig {
 		root := fmt.Sprintf("%s/n%d", tmpDir, i)
@@ -116,11 +152,11 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 	var addrs []string
 	for i := range nodes {
 		if err := os.MkdirAll(fmt.Sprintf("%s/n%d", tmpDir, i), 0o755); err != nil {
-			return fmt.Errorf("live: mkdir: %w", err)
+			return liveFail("setup", "mkdir: %v", err)
 		}
 		n, err := fs.StartNode(nodeCfg(i, "127.0.0.1:0"))
 		if err != nil {
-			return fmt.Errorf("live: start node %d: %w", i, err)
+			return liveFail("setup", "start node %d: %v", i, err)
 		}
 		nodes[i] = n
 		addrs = append(addrs, n.Addr())
@@ -141,26 +177,80 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 		}
 	}
 
-	srv, err := fs.StartServer(fs.ServerConfig{
-		Addr:      "127.0.0.1:0",
-		NodeAddrs: addrs,
-		Logger:    quiet,
-		Dialer:    serverNet,
-		Transport: liveTransport(),
-		Health: fs.HealthConfig{
-			FailThreshold: 2,
-			ProbeInterval: 20 * time.Millisecond,
-		},
-		WriteTimeout: time.Second,
-	})
-	if err != nil {
-		return fmt.Errorf("live: start server: %w", err)
+	// Server plane: a standalone server, or a replicated group with
+	// pre-bound listeners (every member must know the full peer list
+	// before any member starts). Server 0 boots as primary; the injected
+	// replication bug, when asked for, arms on it.
+	srvCfg := func(i int) fs.ServerConfig {
+		return fs.ServerConfig{
+			Addr:      "127.0.0.1:0",
+			NodeAddrs: addrs,
+			Logger:    quiet,
+			Dialer:    serverNet,
+			Transport: liveTransport(),
+			Health: fs.HealthConfig{
+				FailThreshold: 2,
+				ProbeInterval: 20 * time.Millisecond,
+			},
+			WriteTimeout: time.Second,
+		}
 	}
-	defer srv.Close()
+	srvs := make([]*fs.Server, numServers)
+	srvDown := make([]bool, numServers)
+	var srvAddrs []string
+	if numServers == 1 {
+		srv, err := fs.StartServer(srvCfg(0))
+		if err != nil {
+			return liveFail("setup", "start server: %v", err)
+		}
+		srvs[0] = srv
+		srvAddrs = []string{srv.Addr()}
+	} else {
+		lns := make([]net.Listener, numServers)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return liveFail("setup", "listen: %v", err)
+			}
+			lns[i] = ln
+			srvAddrs = append(srvAddrs, ln.Addr().String())
+		}
+		for i := 0; i < numServers; i++ {
+			cfg := srvCfg(i)
+			cfg.Peers = srvAddrs
+			cfg.Self = i
+			cfg.Listener = lns[i]
+			if i == 0 && s.Inject == "silent-replication" {
+				cfg.ReplChaosSilentAfter = 1
+			}
+			srv, err := fs.StartServer(cfg)
+			if err != nil {
+				return liveFail("setup", "start server %d: %v", i, err)
+			}
+			srvs[i] = srv
+		}
+	}
+	defer func() {
+		for _, sv := range srvs {
+			if sv != nil {
+				sv.Close()
+			}
+		}
+	}()
+	// primarySrv returns the surviving server currently claiming primary
+	// (nil during an election window).
+	primarySrv := func() *fs.Server {
+		for i, sv := range srvs {
+			if !srvDown[i] && sv.IsPrimary() {
+				return sv
+			}
+		}
+		return nil
+	}
 
-	cl, err := fs.DialConfig(srv.Addr(), fs.ClientConfig{Dialer: clientNet, Transport: liveTransport()})
+	cl, err := fs.DialCluster(srvAddrs, fs.ClientConfig{Dialer: clientNet, Transport: liveTransport()})
 	if err != nil {
-		return fmt.Errorf("live: dial: %w", err)
+		return liveFail("setup", "dial: %v", err)
 	}
 	defer cl.Close()
 
@@ -179,14 +269,14 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 		// distinguishable from the right one.
 		data := append([]byte(name+":"), bytes.Repeat([]byte{byte('a' + i%26)}, 200+src.Intn(4000))...)
 		if err := cl.Create(name, data); err != nil {
-			return fmt.Errorf("live: create %s on healthy cluster: %w", name, err)
+			return liveFail("create", "create %s on healthy cluster: %v", name, err)
 		}
 		acceptable[name] = [][]byte{data}
 		names = append(names, name)
 	}
 	if s.PrefetchK > 0 {
 		if _, err := cl.Prefetch(s.PrefetchK); err != nil {
-			return fmt.Errorf("live: prefetch on healthy cluster: %w", err)
+			return liveFail("prefetch", "prefetch on healthy cluster: %v", err)
 		}
 	}
 
@@ -199,17 +289,26 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 		return err
 	}
 
-	// Phase 2: randomized reads/writes, with an optional mid-run crash.
-	// While a node is down, operations touching it may fail — but only
-	// with typed errors, and writes that fail must not corrupt the
+	// Phase 2: randomized reads/writes, with an optional mid-run node
+	// crash and — in a replicated group — an optional primary kill.
+	// While a node or the primary is down, operations may fail — but
+	// only with typed errors, and writes that fail must not corrupt the
 	// surviving copy of the namespace.
 	killAt := -1
 	if s.KillNode >= 0 {
 		killAt = s.Ops / 3
 	}
+	killPrimaryAt := -1
+	if numServers > 1 && s.KillPrimary {
+		killPrimaryAt = s.Ops / 2
+	}
 	for op := 0; op < s.Ops; op++ {
 		if op == killAt {
 			nodes[s.KillNode].Close()
+		}
+		if op == killPrimaryAt {
+			srvs[0].Close()
+			srvDown[0] = true
 		}
 		name := names[src.Intn(len(names))]
 		if s.WritePct > 0 && int(src.Intn(100)) < s.WritePct {
@@ -226,32 +325,80 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 				// stay legal. Anything in between would be torn.
 				acceptable[name] = append(acceptable[name], data)
 			default:
-				return fmt.Errorf("live: write %s failed untyped: %w", name, err)
+				return liveFail("op-write", "write %s failed untyped: %v", name, err)
 			}
 		} else {
 			data, _, err := cl.Read(name)
 			switch {
 			case err == nil:
 				if !anyEqual(data, acceptable[name]) {
-					return fmt.Errorf("live: read %s returned %d bytes matching no acceptable content (torn or corrupt copy)", name, len(data))
+					return liveFail("op-read", "read %s returned %d bytes matching no acceptable content (torn or corrupt copy)", name, len(data))
 				}
 			case typedError(err):
 			default:
-				return fmt.Errorf("live: read %s failed untyped: %w", name, err)
+				return liveFail("op-read", "read %s failed untyped: %v", name, err)
 			}
 		}
 	}
 
-	// Phase 3: heal (restart the crashed node on its old address with
+	// Phase 3a: failover quiesce. After a primary kill, exactly one
+	// surviving follower must promote itself; all client traffic from
+	// here on lands on it via redirects.
+	srv := srvs[0]
+	if killPrimaryAt >= 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if p := primarySrv(); p != nil {
+				srv = p
+				break
+			}
+			if time.Now().After(deadline) {
+				return liveFail("failover", "no surviving server promoted itself within 10s of the primary kill")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 3b: heal (restart the crashed node on its old address with
 	// its old disk roots) and wait for the prober to readmit it.
 	if s.KillNode >= 0 && killAt >= 0 {
 		restarted, err := fs.StartNode(nodeCfg(s.KillNode, addrs[s.KillNode]))
 		if err != nil {
-			return fmt.Errorf("live: restart node %d: %w", s.KillNode, err)
+			return liveFail("heal", "restart node %d: %v", s.KillNode, err)
 		}
 		nodes[s.KillNode] = restarted
 		if err := waitHealthy(srv, s.KillNode, true, 10*time.Second); err != nil {
-			return err
+			return liveFail("heal", "%v", err)
+		}
+	}
+
+	// Phase 3c: metadata-convergence oracle. Once the group quiesces,
+	// every surviving replica must report the identical file table — a
+	// replica that silently missed an acked mutation diverges here (or,
+	// if all survivors missed it together, against the ground truth
+	// below).
+	if numServers > 1 {
+		deadline := time.Now().Add(10 * time.Second)
+		var diverge string
+		for {
+			want := srv.Files()
+			diverge = ""
+			for i, sv := range srvs {
+				if srvDown[i] || sv == srv {
+					continue
+				}
+				if got := sv.Files(); !reflect.DeepEqual(got, want) {
+					diverge = fmt.Sprintf("server %d reports %d files, primary reports %d", i, len(got), len(want))
+					break
+				}
+			}
+			if diverge == "" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return liveFail("convergence", "surviving replicas never converged: %s", diverge)
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 
@@ -264,7 +411,7 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 	// size by design.
 	infos := srv.Files()
 	if len(infos) != len(names) {
-		return fmt.Errorf("live: server metadata has %d files, created %d", len(infos), len(names))
+		return liveFail("metadata", "server metadata has %d files, created %d", len(infos), len(names))
 	}
 	nodeMeta := make([]map[int]int64, len(nodes))
 	for i, n := range nodes {
@@ -275,24 +422,24 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 	}
 	for _, fi := range infos {
 		if fi.Node < 0 || fi.Node >= len(nodes) {
-			return fmt.Errorf("live: server places %s on node %d of %d", fi.Name, fi.Node, len(nodes))
+			return liveFail("metadata", "server places %s on node %d of %d", fi.Name, fi.Node, len(nodes))
 		}
 		size, ok := nodeMeta[fi.Node][fi.ID]
 		if !ok {
-			return fmt.Errorf("live: server says %s (id %d) lives on node %d, but the node has no such entry", fi.Name, fi.ID, fi.Node)
+			return liveFail("metadata", "server says %s (id %d) lives on node %d, but the node has no such entry", fi.Name, fi.ID, fi.Node)
 		}
 		if !written[fi.Name] && size != fi.Size {
-			return fmt.Errorf("live: never-written %s size disagrees: server %d, node %d", fi.Name, fi.Size, size)
+			return liveFail("metadata", "never-written %s size disagrees: server %d, node %d", fi.Name, fi.Size, size)
 		}
 		data, _, err := cl.Read(fi.Name)
 		if err != nil {
-			return fmt.Errorf("live: read %s after heal: %w", fi.Name, err)
+			return liveFail("metadata", "read %s after heal: %v", fi.Name, err)
 		}
 		if int64(len(data)) != size {
-			return fmt.Errorf("live: read %s returned %d bytes, node metadata says %d", fi.Name, len(data), size)
+			return liveFail("metadata", "read %s returned %d bytes, node metadata says %d", fi.Name, len(data), size)
 		}
 		if !anyEqual(data, acceptable[fi.Name]) {
-			return fmt.Errorf("live: %s final content (%d bytes) matches no acceptable content", fi.Name, len(data))
+			return liveFail("metadata", "%s final content (%d bytes) matches no acceptable content", fi.Name, len(data))
 		}
 	}
 	return nil
@@ -302,9 +449,9 @@ func CheckLive(s LiveScenario, tmpDir string) error {
 // through one shared client and verifies each reader got its own file's
 // exact content. Run only while the cluster is healthy, so any error —
 // not just a content swap — is a violation.
-func checkCorrelation(cl *fs.Client, names []string, acceptable map[string][][]byte) error {
+func checkCorrelation(cl *fs.Client, names []string, acceptable map[string][][]byte) *LiveFailure {
 	const rounds = 3
-	errCh := make(chan error, len(names))
+	errCh := make(chan *LiveFailure, len(names))
 	var wg sync.WaitGroup
 	for _, name := range names {
 		wg.Add(1)
@@ -313,11 +460,11 @@ func checkCorrelation(cl *fs.Client, names []string, acceptable map[string][][]b
 			for r := 0; r < rounds; r++ {
 				data, _, err := cl.Read(name)
 				if err != nil {
-					errCh <- fmt.Errorf("live: concurrent read %s on healthy cluster: %w", name, err)
+					errCh <- liveFail("correlation", "concurrent read %s on healthy cluster: %v", name, err)
 					return
 				}
 				if !bytes.Equal(data, acceptable[name][0]) {
-					errCh <- fmt.Errorf("live: concurrent read %s returned %d bytes of someone else's content (crossed request ids)", name, len(data))
+					errCh <- liveFail("correlation", "concurrent read %s returned %d bytes of someone else's content (crossed request ids)", name, len(data))
 					return
 				}
 			}
@@ -325,8 +472,8 @@ func checkCorrelation(cl *fs.Client, names []string, acceptable map[string][][]b
 	}
 	wg.Wait()
 	close(errCh)
-	for err := range errCh {
-		return err
+	for f := range errCh {
+		return f
 	}
 	return nil
 }
