@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-compare cover soak soak-failover
+.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-compare cover soak soak-failover
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ fuzz:
 
 # Snapshot every benchmark once (test2json stream) so perf regressions
 # can be diffed against a committed baseline.
-bench: bench-parallel bench-mux
+bench: bench-parallel bench-mux bench-trace
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_baseline.json
 
 # The parallel-engine comparison (ISSUE 3 acceptance): sweep wall-clock
@@ -46,6 +46,14 @@ bench-mux:
 	$(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
 		-benchtime 200x -count 3 -json ./internal/proto > BENCH_mux.json
 
+# The tracing-overhead comparison (ISSUE 7 acceptance): the pipelined
+# mux benchmark with tracing off vs on at the production default 1%
+# head-sampling rate (span per call, wire-propagated context). The
+# traced variant must stay within a few percent of the plain one.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
+		-benchtime 200x -count 3 -benchmem -json ./internal/proto > BENCH_trace.json
+
 # The CI perf-regression gate: rerun the gated benchmark suites fresh and
 # diff them against the committed baselines. Fails on a >25% geomean
 # regression; override the threshold with BENCH_MAX_REGRESS (e.g.
@@ -61,8 +69,10 @@ bench-compare:
 		./internal/experiments ./internal/fs ./internal/metadata ./internal/trace > $$tmp && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
 		-benchtime 200x -count 3 -json ./internal/proto >> $$tmp && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
+		-benchtime 200x -count 3 -benchmem -json ./internal/proto >> $$tmp && \
 	  $(GO) run ./cmd/benchdiff -max $(BENCH_MAX_REGRESS) -normalize \
-		-fresh $$tmp BENCH_parallel.json BENCH_mux.json; }; \
+		-fresh $$tmp BENCH_parallel.json BENCH_mux.json BENCH_trace.json; }; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 # Coverage with a ratchet: the total must never drop below the committed

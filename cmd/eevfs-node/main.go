@@ -36,6 +36,10 @@ func main() {
 		stripe      = flag.Int64("stripe", 0, "stripe chunk size in bytes (0 = whole-file placement)")
 		adminAddr   = flag.String("admin-addr", "",
 			"admin HTTP listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+		traceSample = flag.Float64("trace-sample", 0,
+			"fraction of traces recorded in full (0 = tracing disabled, 1 = everything); errored and slow spans are always kept")
+		traceBuffer = flag.Int("trace-buffer", 0,
+			"span ring-buffer capacity (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,16 @@ func main() {
 	if *adminAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
+	var tracer *telemetry.Tracer
+	var energy *telemetry.EnergyLedger
+	if *traceSample > 0 {
+		tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			Capacity:   *traceBuffer,
+			SampleRate: *traceSample,
+			Seed:       uint64(os.Getpid()),
+		})
+		energy = telemetry.NewEnergyLedger(0)
+	}
 
 	node, err := fs.StartNode(fs.NodeConfig{
 		Addr:             *addr,
@@ -70,6 +84,8 @@ func main() {
 		InjectLatency:    !*noLatency,
 		WriteBuffer:      *writeBuffer,
 		StripeChunkBytes: *stripe,
+		Tracer:           tracer,
+		Energy:           energy,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eevfs-node: %v\n", err)
@@ -79,13 +95,18 @@ func main() {
 		node.Addr(), *root, *dataDisks, m.Name)
 
 	if *adminAddr != "" {
-		admin, err := telemetry.StartAdmin(*adminAddr, reg, func() any {
-			hits, misses, bufWrites := node.Counters()
-			return map[string]any{
-				"buffer_hits":     hits,
-				"buffer_misses":   misses,
-				"buffered_writes": bufWrites,
-			}
+		admin, err := telemetry.StartAdminConfig(*adminAddr, telemetry.AdminConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Energy:   energy,
+			Health: func() any {
+				hits, misses, bufWrites := node.Counters()
+				return map[string]any{
+					"buffer_hits":     hits,
+					"buffer_misses":   misses,
+					"buffered_writes": bufWrites,
+				}
+			},
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eevfs-node: admin listener: %v\n", err)

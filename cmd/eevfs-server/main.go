@@ -43,6 +43,10 @@ func main() {
 			"this server's index in -peers (index 0 boots as primary on a cold start)")
 		mirrorPrefetch = flag.Bool("mirror-prefetch", false,
 			"copy each prefetched file to a second node's buffer disk so reads survive the owner's death")
+		traceSample = flag.Float64("trace-sample", 0,
+			"fraction of traces recorded in full (0 = tracing disabled, 1 = everything); errored and slow spans are always kept")
+		traceBuffer = flag.Int("trace-buffer", 0,
+			"span ring-buffer capacity (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -76,6 +80,14 @@ func main() {
 	if *adminAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
+	var tracer *telemetry.Tracer
+	if *traceSample > 0 {
+		tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			Capacity:   *traceBuffer,
+			SampleRate: *traceSample,
+			Seed:       uint64(os.Getpid()),
+		})
+	}
 
 	srv, err := fs.StartServer(fs.ServerConfig{
 		Addr:           *addr,
@@ -85,6 +97,7 @@ func main() {
 		Peers:          peerAddrs,
 		Self:           *self,
 		MirrorPrefetch: *mirrorPrefetch,
+		Tracer:         tracer,
 		Transport: proto.TransportConfig{
 			DialTimeout: *dialTimeout,
 			RTTimeout:   *rtTimeout,
@@ -108,14 +121,18 @@ func main() {
 	}
 
 	if *adminAddr != "" {
-		admin, err := telemetry.StartAdmin(*adminAddr, reg, func() any {
-			primary, epoch, seq := srv.ReplStatus()
-			return map[string]any{
-				"healthy_nodes": srv.Healthy(),
-				"primary":       primary,
-				"repl_epoch":    epoch,
-				"repl_seq":      seq,
-			}
+		admin, err := telemetry.StartAdminConfig(*adminAddr, telemetry.AdminConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Health: func() any {
+				primary, epoch, seq := srv.ReplStatus()
+				return map[string]any{
+					"healthy_nodes": srv.Healthy(),
+					"primary":       primary,
+					"repl_epoch":    epoch,
+					"repl_seq":      seq,
+				}
+			},
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eevfs-server: admin listener: %v\n", err)

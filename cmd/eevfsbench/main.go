@@ -63,7 +63,7 @@ func runTraceFile(path string) error {
 // an external trace file or the default synthetic workload — with the
 // event journal attached, and writes the timeline as Chrome trace-event
 // JSON loadable in ui.perfetto.dev or chrome://tracing.
-func exportChromeTrace(out, traceIn string, requests int, seed uint64) error {
+func exportChromeTrace(out, traceIn string, requests int, seed uint64, traceSample float64) error {
 	var tr *trace.Trace
 	var err error
 	if traceIn != "" {
@@ -92,6 +92,11 @@ func exportChromeTrace(out, traceIn string, requests int, seed uint64) error {
 
 	cfg := cluster.DefaultTestbed()
 	jour := &telemetry.Journal{}
+	if traceSample > 0 && traceSample < 1 {
+		// Thin only the per-request slices; state and service events are
+		// never sampled away (the journal's invariant checks replay them).
+		jour.SetRequestSampling(traceSample, 1)
+	}
 	cfg.Journal = jour
 	res, err := cluster.Run(cfg, tr)
 	if err != nil {
@@ -125,11 +130,12 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		traceIn  = flag.String("trace", "", "run PF vs NPF on a trace file (eevfs-trace/1 format) and exit")
 		chromeO  = flag.String("chrome-trace", "", "simulate one PF run and write its timeline as Chrome trace-event JSON to this file")
+		traceSmp = flag.Float64("trace-sample", 1, "fraction of per-request journal events kept in the exported timeline (state transitions are always kept)")
 	)
 	flag.Parse()
 
 	if *chromeO != "" {
-		if err := exportChromeTrace(*chromeO, *traceIn, *requests, *seed); err != nil {
+		if err := exportChromeTrace(*chromeO, *traceIn, *requests, *seed, *traceSmp); err != nil {
 			fmt.Fprintf(os.Stderr, "eevfsbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -3,10 +3,12 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"eevfs/internal/proto"
+	"eevfs/internal/telemetry"
 )
 
 // ClientConfig configures a client's transport behavior.
@@ -23,6 +25,11 @@ type ClientConfig struct {
 	// grows linearly so a group mid-election has time to settle
 	// (default 25ms).
 	FailoverBackoff time.Duration
+	// Tracer, when set, opens a root span per client operation and a
+	// child span per server/node round trip, propagating the trace
+	// context on the wire so the daemons' spans join the same tree.
+	// Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -173,32 +180,54 @@ func (c *Client) rotateServer(failed string) {
 	c.current = c.servers[0]
 }
 
+// startOp opens the root span of one client operation (nil when tracing
+// is off).
+func (c *Client) startOp(name, file string) *telemetry.Span {
+	sp := c.cfg.Tracer.StartRoot("client", "client."+name)
+	if file != "" {
+		sp.Annotate("file", file)
+	}
+	return sp
+}
+
 // serverRT performs one round trip against the believed primary,
 // following not-primary redirects and rotating on transport faults
 // while the retry budget lasts. Remote failures come back re-typed so
-// callers can errors.Is against the fs sentinels.
-func (c *Client) serverRT(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+// callers can errors.Is against the fs sentinels. Each attempt gets its
+// own child span under parent, annotated with the peer tried and any
+// redirect followed, so the trace tree shows the whole failover walk.
+func (c *Client) serverRT(t proto.Type, payload []byte, parent *telemetry.Span) (proto.Type, []byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.FailoverRetries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * c.cfg.FailoverBackoff)
 		}
 		addr := c.currentServer()
-		rt, rp, err := c.serverEp(addr).Call(t, payload)
+		att := parent.Child("client.rt.server")
+		att.Annotate("peer", addr)
+		if attempt > 0 {
+			att.Annotate("retry", strconv.Itoa(attempt))
+		}
+		rt, rp, err := c.serverEp(addr).CallCtx(t, payload, att.Context())
 		if err == nil {
+			att.Finish()
 			return rt, rp, nil
 		}
 		lastErr = mapRemote(err)
 		switch {
 		case errors.Is(lastErr, ErrNotPrimary):
 			if hint := redirectHint(err); hint != "" && hint != addr {
+				att.Annotate("redirect", hint)
 				c.switchServer(hint)
 			} else {
 				c.rotateServer(addr)
 			}
+			att.End(lastErr)
 		case isTransportErr(err) && len(c.servers) > 1:
 			c.rotateServer(addr)
+			att.End(lastErr)
 		default:
+			att.End(lastErr)
 			return rt, rp, lastErr
 		}
 	}
@@ -208,7 +237,7 @@ func (c *Client) serverRT(t proto.Type, payload []byte) (proto.Type, []byte, err
 // nodeRT performs one round trip on a (cached) node endpoint. The
 // endpoint handles redials, deadlines, and retries; a dead connection is
 // always discarded before the next attempt.
-func (c *Client) nodeRT(addr string, t proto.Type, payload []byte) (proto.Type, []byte, error) {
+func (c *Client) nodeRT(addr string, t proto.Type, payload []byte, parent *telemetry.Span) (proto.Type, []byte, error) {
 	c.mu.Lock()
 	ep, ok := c.nodes[addr]
 	if !ok {
@@ -216,21 +245,26 @@ func (c *Client) nodeRT(addr string, t proto.Type, payload []byte) (proto.Type, 
 		c.nodes[addr] = ep
 	}
 	c.mu.Unlock()
-	rt, rp, err := ep.Call(t, payload)
+	sp := parent.Child("client.rt.node")
+	sp.Annotate("peer", addr)
+	rt, rp, err := ep.CallCtx(t, payload, sp.Context())
 	if err != nil {
-		return rt, rp, mapRemote(err)
+		err = mapRemote(err)
 	}
-	return rt, rp, nil
+	sp.End(err)
+	return rt, rp, err
 }
 
 // Create registers a new file with the server and uploads its content to
 // the assigned storage node.
-func (c *Client) Create(name string, data []byte) error {
+func (c *Client) Create(name string, data []byte) (err error) {
 	if len(data) == 0 {
 		return fmt.Errorf("fs: refusing to create empty file %q", name)
 	}
+	sp := c.startOp("create", name)
+	defer func() { sp.End(err) }()
 	_, payload, err := c.serverRT(proto.TCreateReq,
-		proto.CreateReq{Name: name, Size: int64(len(data))}.Encode())
+		proto.CreateReq{Name: name, Size: int64(len(data))}.Encode(), sp)
 	if err != nil {
 		return err
 	}
@@ -239,14 +273,16 @@ func (c *Client) Create(name string, data []byte) error {
 		return err
 	}
 	_, _, err = c.nodeRT(resp.NodeAddr, proto.TNodeWriteReq,
-		proto.NodeWriteReq{FileID: resp.FileID, Data: data}.Encode())
+		proto.NodeWriteReq{FileID: resp.FileID, Data: data}.Encode(), sp)
 	return err
 }
 
 // Read fetches a file. fromBuffer reports whether the storage node served
 // it from its buffer disk.
 func (c *Client) Read(name string) (data []byte, fromBuffer bool, err error) {
-	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode())
+	sp := c.startOp("read", name)
+	defer func() { sp.End(err) }()
+	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode(), sp)
 	if err != nil {
 		return nil, false, err
 	}
@@ -255,7 +291,7 @@ func (c *Client) Read(name string) (data []byte, fromBuffer bool, err error) {
 		return nil, false, err
 	}
 	_, payload, err = c.nodeRT(loc.NodeAddr, proto.TNodeReadReq,
-		proto.NodeReadReq{FileID: loc.FileID}.Encode())
+		proto.NodeReadReq{FileID: loc.FileID}.Encode(), sp)
 	if err != nil {
 		return nil, false, err
 	}
@@ -271,7 +307,9 @@ func (c *Client) Read(name string) (data []byte, fromBuffer bool, err error) {
 // ReadAt fetches length bytes of a file starting at off. fromBuffer
 // reports whether the storage node's buffer disk served the range.
 func (c *Client) ReadAt(name string, off, length int64) (data []byte, fromBuffer bool, err error) {
-	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode())
+	sp := c.startOp("readat", name)
+	defer func() { sp.End(err) }()
+	_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode(), sp)
 	if err != nil {
 		return nil, false, err
 	}
@@ -280,7 +318,7 @@ func (c *Client) ReadAt(name string, off, length int64) (data []byte, fromBuffer
 		return nil, false, err
 	}
 	_, payload, err = c.nodeRT(loc.NodeAddr, proto.TNodeReadAtReq,
-		proto.NodeReadAtReq{FileID: loc.FileID, Offset: off, Length: length}.Encode())
+		proto.NodeReadAtReq{FileID: loc.FileID, Offset: off, Length: length}.Encode(), sp)
 	if err != nil {
 		return nil, false, err
 	}
@@ -301,7 +339,9 @@ func (c *Client) Write(name string, data []byte) (buffered bool, err error) {
 	if len(data) == 0 {
 		return false, fmt.Errorf("fs: refusing to write empty content to %q", name)
 	}
-	_, payload, err := c.serverRT(proto.TLookupWriteReq, proto.LookupReq{Name: name}.Encode())
+	sp := c.startOp("write", name)
+	defer func() { sp.End(err) }()
+	_, payload, err := c.serverRT(proto.TLookupWriteReq, proto.LookupReq{Name: name}.Encode(), sp)
 	if err != nil {
 		return false, err
 	}
@@ -310,7 +350,7 @@ func (c *Client) Write(name string, data []byte) (buffered bool, err error) {
 		return false, err
 	}
 	_, payload, err = c.nodeRT(loc.NodeAddr, proto.TNodeWriteReq,
-		proto.NodeWriteReq{FileID: loc.FileID, Data: data}.Encode())
+		proto.NodeWriteReq{FileID: loc.FileID, Data: data}.Encode(), sp)
 	if err != nil {
 		return false, err
 	}
@@ -322,8 +362,10 @@ func (c *Client) Write(name string, data []byte) (buffered bool, err error) {
 }
 
 // List returns all file names.
-func (c *Client) List() ([]string, error) {
-	_, payload, err := c.serverRT(proto.TListReq, nil)
+func (c *Client) List() (names []string, err error) {
+	sp := c.startOp("list", "")
+	defer func() { sp.End(err) }()
+	_, payload, err := c.serverRT(proto.TListReq, nil, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -335,15 +377,19 @@ func (c *Client) List() ([]string, error) {
 }
 
 // Delete removes a file.
-func (c *Client) Delete(name string) error {
-	_, _, err := c.serverRT(proto.TDeleteReq, proto.DeleteReq{Name: name}.Encode())
+func (c *Client) Delete(name string) (err error) {
+	sp := c.startOp("delete", name)
+	defer func() { sp.End(err) }()
+	_, _, err = c.serverRT(proto.TDeleteReq, proto.DeleteReq{Name: name}.Encode(), sp)
 	return err
 }
 
 // Prefetch asks the server to prefetch the top-k popular files into the
 // storage nodes' buffer disks; it returns how many files were copied.
-func (c *Client) Prefetch(k int) (int, error) {
-	_, payload, err := c.serverRT(proto.TPrefetchReq, proto.PrefetchReq{K: int64(k)}.Encode())
+func (c *Client) Prefetch(k int) (count int, err error) {
+	sp := c.startOp("prefetch", "")
+	defer func() { sp.End(err) }()
+	_, payload, err := c.serverRT(proto.TPrefetchReq, proto.PrefetchReq{K: int64(k)}.Encode(), sp)
 	if err != nil {
 		return 0, err
 	}
@@ -355,8 +401,10 @@ func (c *Client) Prefetch(k int) (int, error) {
 }
 
 // Stats fetches cluster-wide per-disk accounting.
-func (c *Client) Stats() (proto.StatsResp, error) {
-	_, payload, err := c.serverRT(proto.TStatsReq, nil)
+func (c *Client) Stats() (resp proto.StatsResp, err error) {
+	sp := c.startOp("stats", "")
+	defer func() { sp.End(err) }()
+	_, payload, err := c.serverRT(proto.TStatsReq, nil, sp)
 	if err != nil {
 		return proto.StatsResp{}, err
 	}

@@ -61,6 +61,16 @@ type NodeConfig struct {
 	// counters (node.buffer.*), and power-state transition accounting
 	// (node.disk.*). Nil disables instrumentation.
 	Metrics *telemetry.Registry
+	// Tracer, when set, records a span per handled request (joined to
+	// the caller's trace when the frame carried a context) plus disk-level
+	// child spans covering spin-ups and service time. Nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Energy, when set, receives the per-request joule attribution joined
+	// from the disks' transition observers: every dwell a disk closes
+	// while serving a request is charged to that request's trace and
+	// file; idle, standby, and spin-down dwells are charged to the
+	// background bucket. Nil disables the join.
+	Energy *telemetry.EnergyLedger
 }
 
 func (c NodeConfig) validate() error {
@@ -88,9 +98,18 @@ type nodeDisk struct {
 	mu       sync.Mutex
 	d        *disk.Disk
 	dir      string
+	label    string
 	isBuffer bool
 	index    int // data-disk index; -1 for the buffer disk
 	timer    *time.Timer
+
+	// Current request attribution, owned by the mu holder: the trace,
+	// file, and span this disk is working for right now. The transition
+	// observer charges active/spin-up dwells to them; zero values mean
+	// background work (flushes, timer-driven spin-downs).
+	curTrace uint64
+	curFile  string
+	curSpan  *telemetry.Span
 }
 
 // Node is a running storage-node daemon.
@@ -163,8 +182,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err := os.MkdirAll(bufDir, 0o755); err != nil {
 		return nil, fmt.Errorf("fs: creating buffer dir: %w", err)
 	}
-	n.buffer = &nodeDisk{d: disk.New("buffer", cfg.BufferModel), dir: bufDir, isBuffer: true, index: -1}
-	n.buffer.d.SetObserver(diskObs)
+	n.buffer = &nodeDisk{
+		d: disk.New("buffer", cfg.BufferModel), dir: bufDir,
+		label: "buffer", isBuffer: true, index: -1,
+	}
+	n.buffer.d.SetObserver(n.diskObserver(n.buffer, diskObs))
 	for i := 0; i < cfg.DataDisks; i++ {
 		dir := filepath.Join(cfg.RootDir, fmt.Sprintf("data%d", i))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -173,9 +195,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		nd := &nodeDisk{
 			d:     disk.New(fmt.Sprintf("data%d", i), cfg.DataModel),
 			dir:   dir,
+			label: fmt.Sprintf("data%d", i),
 			index: i,
 		}
-		nd.d.SetObserver(diskObs)
+		nd.d.SetObserver(n.diskObserver(nd, diskObs))
 		n.data = append(n.data, nd)
 	}
 
@@ -260,14 +283,16 @@ func (n *Node) serveConn(conn net.Conn) {
 	serveFrames(conn, n.cfg.WriteTimeout, n.dispatch)
 }
 
-func (n *Node) dispatch(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+func (n *Node) dispatch(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error) {
 	start := time.Now()
-	rt, rp, err := n.dispatchInner(t, payload)
+	sp := n.cfg.Tracer.StartRemote(sc, "node", "node."+opName(t))
+	rt, rp, err := n.dispatchInner(t, payload, sp)
 	n.met.observe(t, time.Since(start), err)
+	sp.End(err)
 	return rt, rp, err
 }
 
-func (n *Node) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+func (n *Node) dispatchInner(t proto.Type, payload []byte, sp *telemetry.Span) (proto.Type, []byte, error) {
 	switch t {
 	case proto.TNodeCreateReq:
 		req, err := proto.DecodeNodeCreateReq(payload)
@@ -284,7 +309,7 @@ func (n *Node) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, 
 		if err != nil {
 			return 0, nil, err
 		}
-		buffered, err := n.handleWrite(req)
+		buffered, err := n.handleWrite(req, sp)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -295,7 +320,7 @@ func (n *Node) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, 
 		if err != nil {
 			return 0, nil, err
 		}
-		data, fromBuffer, err := n.handleRead(req.FileID)
+		data, fromBuffer, err := n.handleRead(req.FileID, sp)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -317,7 +342,7 @@ func (n *Node) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, 
 		if err != nil {
 			return 0, nil, err
 		}
-		count := n.handlePrefetch(req.FileIDs)
+		count := n.handlePrefetch(req.FileIDs, sp)
 		return proto.TNodePrefetchResp, proto.PrefetchResp{Prefetched: count}.Encode(), nil
 
 	case proto.TNodeReadAtReq:
@@ -325,7 +350,7 @@ func (n *Node) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, 
 		if err != nil {
 			return 0, nil, err
 		}
-		data, fromBuffer, err := n.handleReadAt(req)
+		data, fromBuffer, err := n.handleReadAt(req, sp)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -374,12 +399,62 @@ func (n *Node) stripeSpans(size int64) []int64 {
 	return spans
 }
 
+// reqAttrib ties one disk operation back to the request that caused it:
+// the trace and file the energy join charges, and the parent span for
+// the disk-level child span. The zero value means background work
+// (flushes, shutdown drains).
+type reqAttrib struct {
+	trace uint64
+	file  string
+	span  *telemetry.Span
+}
+
+// spanAttrib builds the attribution for a request span operating on one
+// file. The file key is set even when tracing is off, so the per-file
+// energy buckets work for untraced traffic too.
+func spanAttrib(sp *telemetry.Span, fileID int64) reqAttrib {
+	return reqAttrib{trace: sp.TraceID(), file: fmt.Sprintf("file:%d", fileID), span: sp}
+}
+
+// diskObserver composes the metrics transition observer with the energy
+// join for one disk: each closed dwell's joules ((now - dwell start) x
+// the left state's power draw) are charged to the request the disk is
+// currently working for — attribution fields are owned by the nd.mu
+// holder, and every transition happens under nd.mu — or to the
+// background bucket when there is none. The running dwell start lives in
+// the closure; Advance() between transitions does not move it, which is
+// fine: the state is unchanged, so the per-dwell product is identical.
+func (n *Node) diskObserver(nd *nodeDisk, base disk.Observer) disk.Observer {
+	if n.cfg.Energy == nil {
+		return base
+	}
+	model := nd.d.Model()
+	arm := "data."
+	if nd.isBuffer {
+		arm = "buffer."
+	}
+	last := nd.d.StateSince()
+	return func(now simtime.Time, from, to disk.PowerState) {
+		if base != nil {
+			base(now, from, to)
+		}
+		j := float64(now-last) * model.StatePower(from)
+		last = now
+		if from == disk.Active || from == disk.SpinningUp {
+			n.cfg.Energy.Attribute(nd.curTrace, nd.curFile, arm+from.String(), j)
+			nd.curSpan.AddEnergy(j)
+			return
+		}
+		n.cfg.Energy.Attribute(0, "", arm+from.String(), j)
+	}
+}
+
 // writeDataFile stores content on the data disks: whole-file on the
 // entry's primary disk, or striped across the spindles in parallel.
-func (n *Node) writeDataFile(entry metadata.NodeEntry, data []byte) error {
+func (n *Node) writeDataFile(entry metadata.NodeEntry, data []byte, ra reqAttrib) error {
 	spans := n.stripeSpans(int64(len(data)))
 	if len(spans) == 1 {
-		return n.diskWrite(n.data[entry.Disk], fileName(int64(entry.ID)), data, false)
+		return n.diskWrite(n.data[entry.Disk], fileName(int64(entry.ID)), data, false, ra)
 	}
 	errs := make([]error, len(spans))
 	var wg sync.WaitGroup
@@ -390,7 +465,7 @@ func (n *Node) writeDataFile(entry metadata.NodeEntry, data []byte) error {
 		wg.Add(1)
 		go func(i int, dd *nodeDisk, part []byte) {
 			defer wg.Done()
-			errs[i] = n.diskWrite(dd, chunkName(int64(entry.ID), i), part, false)
+			errs[i] = n.diskWrite(dd, chunkName(int64(entry.ID), i), part, false, ra)
 		}(i, dd, part)
 		off += span
 	}
@@ -404,10 +479,10 @@ func (n *Node) writeDataFile(entry metadata.NodeEntry, data []byte) error {
 }
 
 // readDataFile reassembles content from the data disks.
-func (n *Node) readDataFile(entry metadata.NodeEntry) ([]byte, error) {
+func (n *Node) readDataFile(entry metadata.NodeEntry, ra reqAttrib) ([]byte, error) {
 	spans := n.stripeSpans(entry.Size)
 	if len(spans) == 1 {
-		return n.diskRead(n.data[entry.Disk], fileName(int64(entry.ID)))
+		return n.diskRead(n.data[entry.Disk], fileName(int64(entry.ID)), ra)
 	}
 	parts := make([][]byte, len(spans))
 	errs := make([]error, len(spans))
@@ -417,7 +492,7 @@ func (n *Node) readDataFile(entry metadata.NodeEntry) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, dd *nodeDisk) {
 			defer wg.Done()
-			parts[i], errs[i] = n.diskRead(dd, chunkName(int64(entry.ID), i))
+			parts[i], errs[i] = n.diskRead(dd, chunkName(int64(entry.ID), i), ra)
 		}(i, dd)
 	}
 	wg.Wait()
@@ -461,18 +536,19 @@ func (n *Node) handleCreate(req proto.NodeCreateReq) error {
 	return nil
 }
 
-func (n *Node) handleWrite(req proto.NodeWriteReq) (bool, error) {
+func (n *Node) handleWrite(req proto.NodeWriteReq, sp *telemetry.Span) (bool, error) {
 	entry, ok := n.meta.Lookup(int(req.FileID))
 	if !ok {
 		return false, fmt.Errorf("fs: write to unknown file %d", req.FileID)
 	}
 	n.noteAccess(int(req.FileID))
 	name := fileName(req.FileID)
+	ra := spanAttrib(sp, req.FileID)
 
 	if n.cfg.WriteBuffer && n.bufferHasRoom(int64(len(req.Data))) {
 		// Append-style write into the buffer disk's log area; the data
 		// disk stays asleep. Flush happens lazily.
-		if err := n.diskWrite(n.buffer, name, req.Data, true); err != nil {
+		if err := n.diskWrite(n.buffer, name, req.Data, true, ra); err != nil {
 			return false, err
 		}
 		n.mu.Lock()
@@ -485,7 +561,7 @@ func (n *Node) handleWrite(req proto.NodeWriteReq) (bool, error) {
 		return true, nil
 	}
 
-	if err := n.writeDataFile(entry, req.Data); err != nil {
+	if err := n.writeDataFile(entry, req.Data, ra); err != nil {
 		return false, err
 	}
 	// A direct write supersedes any buffer-disk copy: drop stale
@@ -511,13 +587,14 @@ func (n *Node) updateSize(entry metadata.NodeEntry, size int) {
 	}
 }
 
-func (n *Node) handleRead(fileID int64) ([]byte, bool, error) {
+func (n *Node) handleRead(fileID int64, sp *telemetry.Span) ([]byte, bool, error) {
 	entry, ok := n.meta.Lookup(int(fileID))
 	if !ok {
 		return nil, false, fmt.Errorf("fs: read of unknown file %d", fileID)
 	}
 	n.noteAccess(int(fileID))
 	name := fileName(fileID)
+	ra := spanAttrib(sp, fileID)
 
 	n.mu.Lock()
 	_, isDirty := n.dirty[int(fileID)]
@@ -526,7 +603,7 @@ func (n *Node) handleRead(fileID int64) ([]byte, bool, error) {
 	// Serve from the buffer disk when it holds the newest copy: either a
 	// prefetched replica or an unflushed buffered write.
 	if entry.Prefetched || isDirty {
-		data, err := n.diskRead(n.buffer, name)
+		data, err := n.diskRead(n.buffer, name, ra)
 		if err == nil {
 			n.mu.Lock()
 			n.hits++
@@ -538,7 +615,7 @@ func (n *Node) handleRead(fileID int64) ([]byte, bool, error) {
 		n.logger.Printf("buffer read of file %d failed, falling back: %v", fileID, err)
 	}
 
-	data, err := n.readDataFile(entry)
+	data, err := n.readDataFile(entry, ra)
 	if err != nil {
 		return nil, false, err
 	}
@@ -585,7 +662,7 @@ func (n *Node) bufferHasRoom(size int64) bool {
 // the server's view may be slightly ahead of a node restart; files that
 // would overflow the buffer's capacity are skipped too (the greedy
 // popularity-order selection of Section IV-B).
-func (n *Node) handlePrefetch(ids []int64) int64 {
+func (n *Node) handlePrefetch(ids []int64, sp *telemetry.Span) int64 {
 	var count int64
 	for _, id := range ids {
 		entry, ok := n.meta.Lookup(int(id))
@@ -610,12 +687,13 @@ func (n *Node) handlePrefetch(ids []int64) int64 {
 				continue
 			}
 		}
-		data, err := n.readDataFile(entry)
+		ra := spanAttrib(sp, id)
+		data, err := n.readDataFile(entry, ra)
 		if err != nil {
 			n.logger.Printf("prefetch read of file %d failed: %v", id, err)
 			continue
 		}
-		if err := n.diskWrite(n.buffer, fileName(id), data, true); err != nil {
+		if err := n.diskWrite(n.buffer, fileName(id), data, true, ra); err != nil {
 			n.logger.Printf("prefetch write of file %d failed: %v", id, err)
 			continue
 		}
@@ -631,7 +709,7 @@ func (n *Node) handlePrefetch(ids []int64) int64 {
 // handleReadAt serves a byte range. Buffer-resident copies (prefetched
 // or dirty) are sliced from the buffer disk; otherwise only the stripe
 // chunks overlapping the range touch their data disks.
-func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
+func (n *Node) handleReadAt(req proto.NodeReadAtReq, sp *telemetry.Span) ([]byte, bool, error) {
 	entry, ok := n.meta.Lookup(int(req.FileID))
 	if !ok {
 		return nil, false, fmt.Errorf("fs: read of unknown file %d", req.FileID)
@@ -644,12 +722,13 @@ func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
 		return nil, entry.Prefetched, nil
 	}
 
+	ra := spanAttrib(sp, req.FileID)
 	n.mu.Lock()
 	_, isDirty := n.dirty[int(req.FileID)]
 	n.mu.Unlock()
 
 	if entry.Prefetched || isDirty {
-		data, err := n.diskReadAt(n.buffer, fileName(req.FileID), req.Offset, req.Length)
+		data, err := n.diskReadAt(n.buffer, fileName(req.FileID), req.Offset, req.Length, ra)
 		if err == nil {
 			n.mu.Lock()
 			n.hits++
@@ -662,7 +741,7 @@ func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
 
 	spans := n.stripeSpans(entry.Size)
 	if len(spans) == 1 {
-		data, err := n.diskReadAt(n.data[entry.Disk], fileName(req.FileID), req.Offset, req.Length)
+		data, err := n.diskReadAt(n.data[entry.Disk], fileName(req.FileID), req.Offset, req.Length, ra)
 		if err != nil {
 			return nil, false, err
 		}
@@ -683,7 +762,7 @@ func (n *Node) handleReadAt(req proto.NodeReadAtReq) ([]byte, bool, error) {
 			from := max64(lo, chunkStart) - chunkStart
 			to := min64(hi, chunkEnd) - chunkStart
 			dd := n.data[(entry.Disk+i)%len(n.data)]
-			part, err := n.diskReadAt(dd, chunkName(req.FileID, i), from, to-from)
+			part, err := n.diskReadAt(dd, chunkName(req.FileID, i), from, to-from, ra)
 			if err != nil {
 				return nil, false, err
 			}
@@ -714,17 +793,22 @@ func min64(a, b int64) int64 {
 
 // diskReadAt performs a modeled ranged read: wake if needed, charge the
 // service latency of the range (not the whole file).
-func (n *Node) diskReadAt(nd *nodeDisk, name string, off, length int64) ([]byte, error) {
+func (n *Node) diskReadAt(nd *nodeDisk, name string, off, length int64, ra reqAttrib) (data []byte, err error) {
+	sp := ra.span.Child("disk.readat")
+	sp.Annotate("disk", nd.label)
+	defer func() { sp.End(err) }()
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	n.wakeLocked(nd)
+	nd.beginWork(ra, sp)
+	defer nd.endWork()
+	n.wakeLocked(nd, sp)
 
 	f, err := os.Open(filepath.Join(nd.dir, name))
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	data := make([]byte, length)
+	data = make([]byte, length)
 	if _, err := f.ReadAt(data, off); err != nil {
 		return nil, err
 	}
@@ -817,12 +901,12 @@ func (n *Node) flushOne(id int) {
 		return
 	}
 	name := fileName(int64(id))
-	data, err := n.diskRead(n.buffer, name)
+	data, err := n.diskRead(n.buffer, name, reqAttrib{})
 	if err != nil {
 		n.logger.Printf("flush read of file %d failed: %v", id, err)
 		return
 	}
-	if err := n.writeDataFile(entry, data); err != nil {
+	if err := n.writeDataFile(entry, data, reqAttrib{}); err != nil {
 		n.logger.Printf("flush write of file %d failed: %v", id, err)
 		return
 	}
@@ -837,15 +921,31 @@ func (n *Node) flushOne(id int) {
 	n.saveManifest()
 }
 
+// beginWork/endWork bracket one modeled disk operation with its request
+// attribution (callers hold nd.mu). Between them, every dwell the disk
+// closes in a working state is charged to ra's trace, file, and span.
+func (nd *nodeDisk) beginWork(ra reqAttrib, sp *telemetry.Span) {
+	nd.curTrace, nd.curFile, nd.curSpan = ra.trace, ra.file, sp
+}
+
+func (nd *nodeDisk) endWork() {
+	nd.curTrace, nd.curFile, nd.curSpan = 0, "", nil
+}
+
 // diskRead performs a modeled read on the given disk: wake if needed,
 // charge service latency, account energy, rearm the idle timer.
-func (n *Node) diskRead(nd *nodeDisk, name string) ([]byte, error) {
+func (n *Node) diskRead(nd *nodeDisk, name string, ra reqAttrib) (data []byte, err error) {
+	sp := ra.span.Child("disk.read")
+	sp.Annotate("disk", nd.label)
+	defer func() { sp.End(err) }()
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	n.wakeLocked(nd)
+	nd.beginWork(ra, sp)
+	defer nd.endWork()
+	n.wakeLocked(nd, sp)
 
 	path := filepath.Join(nd.dir, name)
-	data, err := os.ReadFile(path)
+	data, err = os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -855,13 +955,18 @@ func (n *Node) diskRead(nd *nodeDisk, name string) ([]byte, error) {
 
 // diskWrite performs a modeled write; sequential=true uses the buffer
 // disk's log-append cost model.
-func (n *Node) diskWrite(nd *nodeDisk, name string, data []byte, sequential bool) error {
+func (n *Node) diskWrite(nd *nodeDisk, name string, data []byte, sequential bool, ra reqAttrib) (err error) {
+	sp := ra.span.Child("disk.write")
+	sp.Annotate("disk", nd.label)
+	defer func() { sp.End(err) }()
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	n.wakeLocked(nd)
+	nd.beginWork(ra, sp)
+	defer nd.endWork()
+	n.wakeLocked(nd, sp)
 
 	path := filepath.Join(nd.dir, name)
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err = os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
 	n.serviceLocked(nd, int64(len(data)), sequential)
@@ -882,10 +987,14 @@ func (n *Node) diskNow(nd *nodeDisk) simtime.Time {
 }
 
 // wakeLocked brings a standby disk to Idle, charging spin-up latency.
-func (n *Node) wakeLocked(nd *nodeDisk) {
+// The spin-up gets a span of its own under sp, so a trace distinguishes
+// a read that woke a sleeping spindle from one that found it spinning.
+func (n *Node) wakeLocked(nd *nodeDisk, sp *telemetry.Span) {
 	if nd.d.State() != disk.Standby {
 		return
 	}
+	wsp := sp.Child("disk.spinup")
+	wsp.Annotate("disk", nd.label)
 	m := nd.d.Model()
 	now := n.diskNow(nd)
 	nd.d.BeginSpinUp(now)
@@ -897,6 +1006,7 @@ func (n *Node) wakeLocked(nd *nodeDisk) {
 		end = minEnd
 	}
 	nd.d.CompleteSpinUp(end)
+	wsp.Finish()
 }
 
 // serviceLocked charges one service on the disk and rearms DPM.

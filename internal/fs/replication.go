@@ -9,6 +9,7 @@ import (
 
 	"eevfs/internal/metadata"
 	"eevfs/internal/proto"
+	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
 )
 
@@ -172,13 +173,13 @@ func (s *Server) notPrimaryErr() error {
 // resync. Holding repMu across the fan-out is what makes the log
 // ordered: no second mutation can be sequenced until the fan-out (which
 // is bounded by the transport timeouts) resolves.
-func (s *Server) commit(op proto.RepOp) {
+func (s *Server) commit(op proto.RepOp, sp *telemetry.Span) {
 	if len(s.peers) > 0 {
 		s.repMu.Lock()
 		s.repSeq++
 		op.Seq = s.repSeq
 		s.repSeqA.Store(s.repSeq)
-		s.replicateLocked([]proto.RepOp{op})
+		s.replicateLocked([]proto.RepOp{op}, sp.Context())
 		s.repMu.Unlock()
 	}
 	s.saveState()
@@ -187,8 +188,10 @@ func (s *Server) commit(op proto.RepOp) {
 // replicateLocked fans a batch out to every peer. Callers hold repMu.
 // A peer that is marked out of sync — or that reports a gap — gets a
 // full snapshot instead; a peer that cannot be reached is marked out of
-// sync and repaired by the next primaryDuties tick.
-func (s *Server) replicateLocked(ops []proto.RepOp) {
+// sync and repaired by the next primaryDuties tick. sc, when nonzero,
+// parents a per-peer replication span so synchronous append latency
+// shows up inside the mutation's trace.
+func (s *Server) replicateLocked(ops []proto.RepOp, sc telemetry.SpanContext) {
 	if n := s.cfg.ReplChaosSilentAfter; n > 0 && s.repSeq > uint64(n) {
 		// Test-only convergence-bug injection: the primary silently stops
 		// replicating but keeps acking clients, so a failover after this
@@ -221,7 +224,10 @@ func (s *Server) replicateLocked(ops []proto.RepOp) {
 				s.sendSnapshot(p, snap)
 				return
 			}
-			_, resp, err := p.ep.Call(proto.TRepAppendReq, payload)
+			psp := s.cfg.Tracer.StartChild(sc, "server", "repl.append.peer")
+			psp.Annotate("peer", p.addr)
+			_, resp, err := p.ep.CallCtx(proto.TRepAppendReq, payload, psp.Context())
+			psp.End(err)
 			if err == nil {
 				if ack, derr := proto.DecodeRepAppendResp(resp); derr == nil {
 					p.acked = ack.LastSeq
@@ -538,7 +544,7 @@ func (s *Server) flushAccessEpoch() {
 	s.accessMark = maxSeq + 1
 	s.repSeq++
 	s.repSeqA.Store(s.repSeq)
-	s.replicateLocked([]proto.RepOp{{Seq: s.repSeq, Kind: proto.RepOpAccess, Records: recs}})
+	s.replicateLocked([]proto.RepOp{{Seq: s.repSeq, Kind: proto.RepOpAccess, Records: recs}}, telemetry.SpanContext{})
 }
 
 // watchPrimary probes the believed primary; FailThreshold consecutive

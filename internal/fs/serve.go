@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"eevfs/internal/proto"
+	"eevfs/internal/telemetry"
 )
 
 // maxConnWorkers bounds how many requests from one connection may be in
@@ -18,10 +19,11 @@ import (
 const maxConnWorkers = 32
 
 // handlerFunc handles one decoded request and returns the response
-// frame. A returned error becomes a TError frame; the connection stays
-// up either way (malformed payloads answer with an error rather than a
-// hangup, matching the v1 behavior the tests pin).
-type handlerFunc func(t proto.Type, payload []byte) (proto.Type, []byte, error)
+// frame. sc is the trace context extracted from the frame (zero when
+// untraced). A returned error becomes a TError frame; the connection
+// stays up either way (malformed payloads answer with an error rather
+// than a hangup, matching the v1 behavior the tests pin).
+type handlerFunc func(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error)
 
 // serveFrames drives one accepted connection until it dies, speaking
 // whichever protocol version the peer opened with:
@@ -57,7 +59,12 @@ func serveV1(r io.Reader, w io.Writer, handle handlerFunc) {
 		if err != nil {
 			return
 		}
-		rt, rp, herr := handle(t, payload)
+		t, payload, sc, herr := proto.ExtractContext(t, payload)
+		var rt proto.Type
+		var rp []byte
+		if herr == nil {
+			rt, rp, herr = handle(t, payload, sc)
+		}
 		if herr != nil {
 			rt, rp = proto.TError, errorPayload(herr)
 		}
@@ -83,7 +90,12 @@ func serveV2(conn net.Conn, w io.Writer, handle handlerFunc) {
 		go func(t proto.Type, id uint32, payload []byte) {
 			defer wg.Done()
 			defer func() { <-slots }()
-			rt, rp, herr := handle(t, payload)
+			t, payload, sc, herr := proto.ExtractContext(t, payload)
+			var rt proto.Type
+			var rp []byte
+			if herr == nil {
+				rt, rp, herr = handle(t, payload, sc)
+			}
 			if herr != nil {
 				rt, rp = proto.TError, errorPayload(herr)
 			}

@@ -90,6 +90,10 @@ type ServerConfig struct {
 	// (server.placement.*), and — shared with the node endpoints — the
 	// proto.rt.* transport metrics. Nil disables instrumentation.
 	Metrics *telemetry.Registry
+	// Tracer, when set, records a span per handled request (joined to the
+	// client's trace when the frame carried a context) plus child spans
+	// for node fan-out and replication appends. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // nodeHandle is the server's persistent connection to one storage node
@@ -307,7 +311,17 @@ func (s *Server) Close() error {
 // roundTrip runs one request on a node's main connection and feeds the
 // outcome into its health state.
 func (s *Server) roundTrip(h *nodeHandle, t proto.Type, payload []byte) (proto.Type, []byte, error) {
-	rt, rp, err := h.ep.Call(t, payload)
+	return s.roundTripCtx(h, t, payload, nil)
+}
+
+// roundTripCtx is roundTrip under a parent span: the fan-out RPC gets a
+// child span of its own and carries that child's context to the node,
+// so the node's server-side span parents correctly under this hop.
+func (s *Server) roundTripCtx(h *nodeHandle, t proto.Type, payload []byte, parent *telemetry.Span) (proto.Type, []byte, error) {
+	sp := s.cfg.Tracer.StartChild(parent.Context(), "server", "node."+opName(t))
+	sp.Annotate("peer", h.addr)
+	rt, rp, err := h.ep.CallCtx(t, payload, sp.Context())
+	sp.End(err)
 	s.noteNode(h, err)
 	return rt, rp, err
 }
@@ -405,14 +419,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	serveFrames(conn, s.cfg.WriteTimeout, s.dispatch)
 }
 
-func (s *Server) dispatch(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+func (s *Server) dispatch(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error) {
 	start := time.Now()
-	rt, rp, err := s.dispatchInner(t, payload)
+	sp := s.cfg.Tracer.StartRemote(sc, "server", "server."+opName(t))
+	rt, rp, err := s.dispatchInner(t, payload, sp)
 	s.met.observe(t, time.Since(start), err)
+	sp.End(err)
 	return rt, rp, err
 }
 
-func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte, error) {
+func (s *Server) dispatchInner(t proto.Type, payload []byte, sp *telemetry.Span) (proto.Type, []byte, error) {
 	// Replication frames are server-to-server and valid in every role;
 	// status must stay answerable even mid-election.
 	switch t {
@@ -452,7 +468,7 @@ func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte
 		if err != nil {
 			return 0, nil, err
 		}
-		resp, err := s.handleCreate(req)
+		resp, err := s.handleCreate(req, sp)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -474,7 +490,7 @@ func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte
 		if err != nil {
 			return 0, nil, err
 		}
-		resp, err := s.handleLookupWrite(req)
+		resp, err := s.handleLookupWrite(req, sp)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -488,7 +504,7 @@ func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := s.handleDelete(req); err != nil {
+		if err := s.handleDelete(req, sp); err != nil {
 			return 0, nil, err
 		}
 		return proto.TDeleteResp, nil, nil
@@ -498,14 +514,14 @@ func (s *Server) dispatchInner(t proto.Type, payload []byte) (proto.Type, []byte
 		if err != nil {
 			return 0, nil, err
 		}
-		count, err := s.handlePrefetch(int(req.K))
+		count, err := s.handlePrefetch(int(req.K), sp)
 		if err != nil {
 			return 0, nil, err
 		}
 		return proto.TPrefetchResp, proto.PrefetchResp{Prefetched: count}.Encode(), nil
 
 	case proto.TStatsReq:
-		resp, err := s.handleStats()
+		resp, err := s.handleStats(sp)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -537,7 +553,7 @@ func (s *Server) pickNode() (int, error) {
 // the node RPC — of N racing creates of one name, exactly one wins and
 // the rest fail with "already exists"; a failed node RPC rolls the claim
 // back.
-func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
+func (s *Server) handleCreate(req proto.CreateReq, sp *telemetry.Span) (proto.CreateResp, error) {
 	if req.Name == "" {
 		return proto.CreateResp{}, errors.New("fs: empty file name")
 	}
@@ -564,8 +580,8 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 
 	h := s.nodes[nodeIdx]
 	s.placements[nodeIdx].Inc()
-	if _, _, err := s.roundTrip(h, proto.TNodeCreateReq,
-		proto.NodeCreateReq{FileID: id, Size: req.Size}.Encode()); err != nil {
+	if _, _, err := s.roundTripCtx(h, proto.TNodeCreateReq,
+		proto.NodeCreateReq{FileID: id, Size: req.Size}.Encode(), sp); err != nil {
 		s.meta.Delete(req.Name) // roll back the claim; the id slot is burned
 		return proto.CreateResp{}, err
 	}
@@ -574,7 +590,7 @@ func (s *Server) handleCreate(req proto.CreateReq) (proto.CreateResp, error) {
 	s.commit(proto.RepOp{
 		Kind: proto.RepOpCreate, Name: req.Name, ID: id, Size: req.Size,
 		Node: int64(nodeIdx), Cursor: s.nextNode.Load(),
-	})
+	}, sp)
 	return proto.CreateResp{FileID: id, NodeAddr: h.addr}, nil
 }
 
@@ -610,7 +626,7 @@ func (s *Server) handleLookup(req proto.LookupReq) (proto.LookupResp, error) {
 // it invalidates any recorded mirror first — the write is about to make
 // that copy stale, and a reader redirected there later must not see old
 // bytes.
-func (s *Server) handleLookupWrite(req proto.LookupReq) (proto.LookupResp, error) {
+func (s *Server) handleLookupWrite(req proto.LookupReq, sp *telemetry.Span) (proto.LookupResp, error) {
 	fi, ok := s.meta.LookupName(req.Name)
 	if !ok {
 		return proto.LookupResp{}, fmt.Errorf("fs: %w %q", ErrFileNotFound, req.Name)
@@ -625,7 +641,7 @@ func (s *Server) handleLookupWrite(req proto.LookupReq) (proto.LookupResp, error
 		if err := s.meta.Put(fi); err != nil {
 			return proto.LookupResp{}, err
 		}
-		s.commit(proto.RepOp{Kind: proto.RepOpReplica, Name: fi.Name, Replica: 0})
+		s.commit(proto.RepOp{Kind: proto.RepOpReplica, Name: fi.Name, Replica: 0}, sp)
 		if ridx < len(s.nodes) {
 			// Best-effort space reclaim on the mirror; the marker is
 			// already gone, so a failure only leaves an orphaned copy.
@@ -653,7 +669,7 @@ func (s *Server) journalAccess(fi metadata.FileInfo) {
 	s.accessCtr.Inc()
 }
 
-func (s *Server) handleDelete(req proto.DeleteReq) error {
+func (s *Server) handleDelete(req proto.DeleteReq, sp *telemetry.Span) error {
 	fi, ok := s.meta.LookupName(req.Name)
 	if !ok {
 		return fmt.Errorf("fs: %w %q", ErrFileNotFound, req.Name)
@@ -663,8 +679,8 @@ func (s *Server) handleDelete(req proto.DeleteReq) error {
 		return fmt.Errorf("fs: %w: file %q is on node %s",
 			ErrNodeUnavailable, req.Name, h.addr)
 	}
-	if _, _, err := s.roundTrip(h, proto.TNodeDeleteReq,
-		proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode()); err != nil {
+	if _, _, err := s.roundTripCtx(h, proto.TNodeDeleteReq,
+		proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode(), sp); err != nil {
 		return err
 	}
 	if ridx, hasReplica := fi.ReplicaNode(); hasReplica && ridx < len(s.nodes) {
@@ -674,7 +690,7 @@ func (s *Server) handleDelete(req proto.DeleteReq) error {
 			proto.NodeDeleteReq{FileID: int64(fi.ID)}.Encode())
 	}
 	s.meta.Delete(req.Name)
-	s.commit(proto.RepOp{Kind: proto.RepOpDelete, Name: req.Name})
+	s.commit(proto.RepOp{Kind: proto.RepOpDelete, Name: req.Name}, sp)
 	return nil
 }
 
@@ -682,7 +698,7 @@ func (s *Server) handleDelete(req proto.DeleteReq) error {
 // K, groups the picks by owning node, and commands each node (steps 2-3
 // of the process flow). Unhealthy nodes are skipped — a degraded cluster
 // still prefetches everywhere it can.
-func (s *Server) handlePrefetch(k int) (int64, error) {
+func (s *Server) handlePrefetch(k int, sp *telemetry.Span) (int64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("fs: negative prefetch count %d", k)
 	}
@@ -736,8 +752,8 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 		go func(nodeIdx int, h *nodeHandle, fileIDs []int64) {
 			defer wg.Done()
 			var res nodeResult
-			_, payload, err := s.roundTrip(h, proto.TNodePrefetchReq,
-				proto.NodePrefetchReq{FileIDs: fileIDs}.Encode())
+			_, payload, err := s.roundTripCtx(h, proto.TNodePrefetchReq,
+				proto.NodePrefetchReq{FileIDs: fileIDs}.Encode(), sp)
 			if err != nil {
 				res.err = fmt.Errorf("fs: prefetch on node %d: %w", nodeIdx, err)
 			} else if resp, derr := proto.DecodePrefetchResp(payload); derr != nil {
@@ -782,15 +798,15 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 		wg.Add(1)
 		go func(nodeIdx int, hints []proto.FileHint) {
 			defer wg.Done()
-			if _, _, err := s.roundTrip(s.nodes[nodeIdx], proto.TNodeHintsReq,
-				proto.NodeHintsReq{Hints: hints}.Encode()); err != nil {
+			if _, _, err := s.roundTripCtx(s.nodes[nodeIdx], proto.TNodeHintsReq,
+				proto.NodeHintsReq{Hints: hints}.Encode(), sp); err != nil {
 				s.logger.Printf("forwarding hints to node %d: %v", nodeIdx, err)
 			}
 		}(nodeIdx, hints)
 	}
 	wg.Wait()
 	if s.cfg.MirrorPrefetch {
-		s.mirrorFiles(ids)
+		s.mirrorFiles(ids, sp)
 	}
 	return total, nil
 }
@@ -802,7 +818,7 @@ func (s *Server) handlePrefetch(k int) (int64, error) {
 // Known race: a write landing between the copy and the marker commit
 // leaves the marker pointing at pre-write bytes until the next write
 // lookup invalidates it.
-func (s *Server) mirrorFiles(ids []int) {
+func (s *Server) mirrorFiles(ids []int, sp *telemetry.Span) {
 	if len(s.nodes) < 2 {
 		return
 	}
@@ -829,7 +845,7 @@ func (s *Server) mirrorFiles(ids []int) {
 		if mirror < 0 {
 			continue
 		}
-		if err := s.copyToMirror(fi, mirror); err != nil {
+		if err := s.copyToMirror(fi, mirror, sp); err != nil {
 			s.logger.Printf("mirror %s to node %d: %v", fi.Name, mirror, err)
 			continue
 		}
@@ -843,16 +859,16 @@ func (s *Server) mirrorFiles(ids []int) {
 		if err := s.meta.Put(cur); err != nil {
 			continue
 		}
-		s.commit(proto.RepOp{Kind: proto.RepOpReplica, Name: cur.Name, Replica: int64(mirror + 1)})
+		s.commit(proto.RepOp{Kind: proto.RepOpReplica, Name: cur.Name, Replica: int64(mirror + 1)}, sp)
 	}
 }
 
 // copyToMirror moves one file's bytes owner -> server -> mirror, then
 // has the mirror stage them on its buffer disk (the paper's prefetch
 // mechanics reused for the replica).
-func (s *Server) copyToMirror(fi metadata.FileInfo, mirror int) error {
-	_, payload, err := s.roundTrip(s.nodes[fi.Node], proto.TNodeReadReq,
-		proto.NodeReadReq{FileID: int64(fi.ID)}.Encode())
+func (s *Server) copyToMirror(fi metadata.FileInfo, mirror int, sp *telemetry.Span) error {
+	_, payload, err := s.roundTripCtx(s.nodes[fi.Node], proto.TNodeReadReq,
+		proto.NodeReadReq{FileID: int64(fi.ID)}.Encode(), sp)
 	if err != nil {
 		return err
 	}
@@ -861,12 +877,12 @@ func (s *Server) copyToMirror(fi metadata.FileInfo, mirror int) error {
 		return err
 	}
 	mh := s.nodes[mirror]
-	if _, _, err := s.roundTrip(mh, proto.TNodeCreateReq,
-		proto.NodeCreateReq{FileID: int64(fi.ID), Size: int64(len(data.Data))}.Encode()); err != nil {
+	if _, _, err := s.roundTripCtx(mh, proto.TNodeCreateReq,
+		proto.NodeCreateReq{FileID: int64(fi.ID), Size: int64(len(data.Data))}.Encode(), sp); err != nil {
 		return err
 	}
-	_, wp, err := s.roundTrip(mh, proto.TNodeWriteReq,
-		proto.NodeWriteReq{FileID: int64(fi.ID), Data: data.Data}.Encode())
+	_, wp, err := s.roundTripCtx(mh, proto.TNodeWriteReq,
+		proto.NodeWriteReq{FileID: int64(fi.ID), Data: data.Data}.Encode(), sp)
 	if err != nil {
 		return err
 	}
@@ -877,8 +893,8 @@ func (s *Server) copyToMirror(fi metadata.FileInfo, mirror int) error {
 	if !wresp.Buffered {
 		// The write landed on a data disk; stage the copy onto the
 		// mirror's buffer disk like any prefetch.
-		if _, _, err := s.roundTrip(mh, proto.TNodePrefetchReq,
-			proto.NodePrefetchReq{FileIDs: []int64{int64(fi.ID)}}.Encode()); err != nil {
+		if _, _, err := s.roundTripCtx(mh, proto.TNodePrefetchReq,
+			proto.NodePrefetchReq{FileIDs: []int64{int64(fi.ID)}}.Encode(), sp); err != nil {
 			return err
 		}
 	}
@@ -931,7 +947,7 @@ func (s *Server) hintsPerNode() map[int][]proto.FileHint {
 // Results are folded in node order, so the response layout is identical
 // to the old sequential sweep. Unhealthy nodes are skipped so a
 // degraded cluster still reports what it can.
-func (s *Server) handleStats() (proto.StatsResp, error) {
+func (s *Server) handleStats(sp *telemetry.Span) (proto.StatsResp, error) {
 	perNode := make([]*proto.StatsResp, len(s.nodes))
 	errs := make([]error, len(s.nodes))
 	var wg sync.WaitGroup
@@ -943,7 +959,7 @@ func (s *Server) handleStats() (proto.StatsResp, error) {
 		wg.Add(1)
 		go func(i int, h *nodeHandle) {
 			defer wg.Done()
-			_, payload, err := s.roundTrip(h, proto.TNodeStatsReq, nil)
+			_, payload, err := s.roundTripCtx(h, proto.TNodeStatsReq, nil, sp)
 			if err != nil {
 				errs[i] = fmt.Errorf("fs: stats from node %d: %w", i, err)
 				return

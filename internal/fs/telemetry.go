@@ -33,6 +33,14 @@ func opName(t proto.Type) string {
 		return "write"
 	case proto.TNodeHintsReq:
 		return "hints"
+	case proto.TLookupWriteReq:
+		return "lookupwrite"
+	case proto.TRepAppendReq:
+		return "repl.append"
+	case proto.TRepSnapshotReq:
+		return "repl.snapshot"
+	case proto.TRepStatusReq:
+		return "repl.status"
 	default:
 		return "other"
 	}

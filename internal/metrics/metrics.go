@@ -79,11 +79,11 @@ func (s *Sampler) Quantile(q float64) float64 {
 
 // Summary is a frozen snapshot of a Sampler.
 type Summary struct {
-	N             int
-	Mean          float64
-	Min, Max      float64
-	P50, P95, P99 float64
-	StdDev        float64
+	N                   int
+	Mean                float64
+	Min, Max            float64
+	P50, P95, P99, P999 float64
+	StdDev              float64
 }
 
 // Summarize computes the Summary.
@@ -110,14 +110,15 @@ func (s *Sampler) Summarize() Summary {
 		P50:    s.Quantile(0.50),
 		P95:    s.Quantile(0.95),
 		P99:    s.Quantile(0.99),
+		P999:   s.Quantile(0.999),
 		StdDev: std,
 	}
 }
 
 // String renders the summary compactly for logs and tables.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.4gs stddev=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs max=%.4gs",
-		s.N, s.Mean, s.StdDev, s.P50, s.P95, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%.4gs stddev=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs p999=%.4gs max=%.4gs",
+		s.N, s.Mean, s.StdDev, s.P50, s.P95, s.P99, s.P999, s.Max)
 }
 
 // PercentChange returns 100*(with-without)/without — the paper's

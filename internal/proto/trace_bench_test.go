@@ -1,0 +1,82 @@
+package proto
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"eevfs/internal/telemetry"
+)
+
+// benchServerV2Traced mirrors benchServerV2 but strips the trace-context
+// extension from each frame before echoing, exactly as the fs daemons'
+// serve loops do — so the benchmark pays both the client-side attach and
+// the server-side extract.
+func benchServerV2Traced(b *testing.B) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				if err := consumePreface(c); err != nil {
+					return
+				}
+				var wmu sync.Mutex
+				for {
+					t, id, p, err := ReadFrameID(c)
+					if err != nil {
+						return
+					}
+					go func() {
+						t, p, _, err := ExtractContext(t, p)
+						if err != nil {
+							return
+						}
+						time.Sleep(benchDelay)
+						wmu.Lock()
+						defer wmu.Unlock()
+						WriteFrameID(c, t, id, p)
+					}()
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// BenchmarkEndpointPipelinedTraced is BenchmarkEndpointPipelined with
+// tracing on at the production default 1% head-sampling rate: every call
+// opens a root span, propagates its context on the wire (CallCtx), and
+// finishes the span. Comparing against BenchmarkEndpointPipelined in
+// BENCH_trace.json bounds the tracing overhead on the hot path.
+func BenchmarkEndpointPipelinedTraced(b *testing.B) {
+	addr := benchServerV2Traced(b)
+	ep := NewEndpoint(addr, nil, TransportConfig{RTTimeout: 5 * time.Second, Retries: 0})
+	defer ep.Close()
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 0.01})
+	payload := []byte("bench-payload")
+
+	b.SetParallelism(benchParallelism())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := tracer.StartRoot("bench", "bench.call")
+			_, _, err := ep.CallCtx(TLookupReq, payload, sp.Context())
+			sp.End(err)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"eevfs/internal/telemetry"
+)
+
+func TestAttachExtractContextRoundTrip(t *testing.T) {
+	sc := telemetry.SpanContext{TraceID: 0xdeadbeefcafe, SpanID: 42, ParentID: 7, Sampled: true}
+	payload := []byte("hello world")
+
+	wt, wp := AttachContext(TNodeReadReq, payload, sc)
+	if wt != TNodeReadReq|FlagTraced {
+		t.Fatalf("attached type = %#x, want %#x", wt, TNodeReadReq|FlagTraced)
+	}
+	if len(wp) != traceCtxLen+len(payload) {
+		t.Fatalf("attached payload %d bytes, want %d", len(wp), traceCtxLen+len(payload))
+	}
+
+	gt, gp, gsc, err := ExtractContext(wt, wp)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if gt != TNodeReadReq {
+		t.Fatalf("extracted type = %v, want %v", gt, TNodeReadReq)
+	}
+	if !bytes.Equal(gp, payload) {
+		t.Fatalf("extracted payload = %q, want %q", gp, payload)
+	}
+	if gsc != sc {
+		t.Fatalf("extracted context = %+v, want %+v", gsc, sc)
+	}
+}
+
+func TestAttachContextZeroIsIdentity(t *testing.T) {
+	payload := []byte("plain")
+	wt, wp := AttachContext(TNodeWriteReq, payload, telemetry.SpanContext{})
+	if wt != TNodeWriteReq || !bytes.Equal(wp, payload) {
+		t.Fatalf("zero context modified frame: type %v payload %q", wt, wp)
+	}
+	gt, gp, gsc, err := ExtractContext(wt, wp)
+	if err != nil || gt != TNodeWriteReq || !bytes.Equal(gp, payload) || gsc.TraceID != 0 {
+		t.Fatalf("unflagged frame not passed through: %v %q %+v %v", gt, gp, gsc, err)
+	}
+}
+
+func TestAttachContextUnsampled(t *testing.T) {
+	sc := telemetry.SpanContext{TraceID: 9, SpanID: 9, Sampled: false}
+	wt, wp := AttachContext(TStatsReq, nil, sc)
+	_, _, gsc, err := ExtractContext(wt, wp)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if gsc.Sampled {
+		t.Fatal("sampled bit set on unsampled context")
+	}
+	if gsc.TraceID != 9 || gsc.SpanID != 9 || gsc.ParentID != 0 {
+		t.Fatalf("context = %+v", gsc)
+	}
+}
+
+func TestExtractContextShortPayload(t *testing.T) {
+	for _, n := range []int{0, 1, traceCtxLen - 1} {
+		_, _, _, err := ExtractContext(TNodeReadReq|FlagTraced, make([]byte, n))
+		if err == nil {
+			t.Fatalf("flagged frame with %d-byte payload: want error", n)
+		}
+	}
+}
+
+func TestFlagTracedDisjointFromTypes(t *testing.T) {
+	// Every defined frame type must leave the flag bit free.
+	for ty := TError; ty <= TLookupWriteReq; ty++ {
+		if ty&FlagTraced != 0 {
+			t.Fatalf("type %#x collides with FlagTraced", ty)
+		}
+	}
+}
+
+// TestTracedFrameOverWire drives a traced frame through the real v2
+// framing: attach, frame, unframe, extract.
+func TestTracedFrameOverWire(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+
+	sc := telemetry.SpanContext{TraceID: 11, SpanID: 22, ParentID: 33, Sampled: true}
+	wt, wp := AttachContext(TPrefetchReq, []byte("req"), sc)
+	go func() {
+		WriteFrameID(c1, wt, 5, wp)
+	}()
+	gt, id, gp, err := ReadFrameID(c2)
+	if err != nil {
+		t.Fatalf("ReadFrameID: %v", err)
+	}
+	if id != 5 {
+		t.Fatalf("id = %d", id)
+	}
+	it, ip, isc, err := ExtractContext(gt, gp)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if it != TPrefetchReq || string(ip) != "req" || isc != sc {
+		t.Fatalf("round trip: %v %q %+v", it, ip, isc)
+	}
+}
+
+func FuzzExtractContext(f *testing.F) {
+	f.Add(byte(TNodeReadReq), []byte("payload"))
+	f.Add(byte(TNodeReadReq|FlagTraced), make([]byte, traceCtxLen))
+	f.Add(byte(TError|FlagTraced), []byte("short"))
+	f.Fuzz(func(t *testing.T, ty byte, payload []byte) {
+		gt, gp, sc, err := ExtractContext(Type(ty), payload)
+		if err != nil {
+			return
+		}
+		if Type(ty)&FlagTraced == 0 {
+			// Unflagged frames must pass through untouched.
+			if gt != Type(ty) || !bytes.Equal(gp, payload) || sc.TraceID != 0 {
+				t.Fatalf("unflagged pass-through mutated frame")
+			}
+			return
+		}
+		// Canonical flagged frames (known flag bits only, nonzero trace
+		// id) must survive an extract/attach round trip exactly.
+		if sc.TraceID == 0 || payload[0]&^byte(flagSampled) != 0 {
+			return
+		}
+		rt, rp := AttachContext(gt, gp, sc)
+		if rt != Type(ty) || !bytes.Equal(rp, payload) {
+			t.Fatalf("attach(extract(frame)) != frame: %#x vs %#x", rt, ty)
+		}
+	})
+}

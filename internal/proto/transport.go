@@ -304,3 +304,12 @@ func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 	}
 	return 0, nil, terr
 }
+
+// CallCtx is Call with a trace context attached to the request frame.
+// The context is encoded once up front — retries resend the same traced
+// frame — and a zero context degrades to a plain Call, so call sites
+// pass whatever span context they hold without branching.
+func (e *Endpoint) CallCtx(t Type, payload []byte, sc telemetry.SpanContext) (Type, []byte, error) {
+	t, payload = AttachContext(t, payload, sc)
+	return e.Call(t, payload)
+}

@@ -136,3 +136,57 @@ func WriteChromeTrace(w io.Writer, events []Event, endS float64) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
 }
+
+// WriteChromeSpans renders recorded spans as a Chrome trace: one track
+// per service, one "X" slice per span (error and energy in args), so a
+// distributed request's hop tree opens directly in Perfetto. Spans are
+// placed on a relative clock anchored at the earliest start so traces
+// from different processes stay on one legible timeline.
+func WriteChromeSpans(w io.Writer, spans []SpanData) error {
+	tids := map[string]int{}
+	order := []string{}
+	minNs := int64(0)
+	for i, d := range spans {
+		if _, ok := tids[d.Service]; !ok {
+			tids[d.Service] = len(order)
+			order = append(order, d.Service)
+		}
+		if i == 0 || d.StartNs < minNs {
+			minNs = d.StartNs
+		}
+	}
+
+	var out []chromeEvent
+	for _, s := range order {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: tids[s],
+			Args: map[string]any{"name": s},
+		})
+	}
+	for _, d := range spans {
+		args := map[string]any{
+			"trace_id": fmt.Sprintf("%016x", d.TraceID),
+			"span_id":  fmt.Sprintf("%016x", d.SpanID),
+		}
+		if d.ParentID != 0 {
+			args["parent_id"] = fmt.Sprintf("%016x", d.ParentID)
+		}
+		if d.Err != "" {
+			args["err"] = d.Err
+		}
+		if d.EnergyJ != 0 {
+			args["energy_j"] = d.EnergyJ
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Val
+		}
+		out = append(out, chromeEvent{
+			Name: d.Name, Cat: "span", Phase: "X",
+			TsUs:  float64(d.StartNs-minNs) / 1e3,
+			DurUs: d.DurS * usPerSec,
+			Pid:   1, Tid: tids[d.Service], Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,155 @@
+// Energy attribution: the ledger that joins trace spans against
+// disk.Observer transitions. Every dwell a disk closes while serving a
+// request (active service, spin-up) is attributed to the trace id the
+// node recorded as the dwell's cause; dwells with no cause (idle,
+// standby, timer-driven spin-downs) land in the background bucket. The
+// sum over all buckets therefore tracks the disks' own integrated
+// energy — the same conservation property the simulation oracles check.
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EnergySnapshot is a frozen, JSON-marshalable view of an EnergyLedger.
+// Trace keys are hex-encoded trace ids.
+type EnergySnapshot struct {
+	TotalJ        float64            `json:"total_j"`
+	BackgroundJ   float64            `json:"background_j"`
+	PerArm        map[string]float64 `json:"per_arm"`
+	PerFile       map[string]float64 `json:"per_file,omitempty"`
+	PerTrace      map[string]float64 `json:"per_trace,omitempty"`
+	EvictedTraces uint64             `json:"evicted_traces,omitempty"`
+	EvictedFiles  uint64             `json:"evicted_files,omitempty"`
+}
+
+// EnergyLedger accumulates joules per request (trace id), per file, and
+// per policy arm ("buffer" vs "data" disk class, split by power state).
+// The per-trace and per-file maps are bounded FIFO rings so a long-lived
+// daemon cannot grow them without bound; arm totals and the grand total
+// are never evicted. Nil is a no-op.
+type EnergyLedger struct {
+	mu sync.Mutex
+
+	capEntries int
+	traces     map[uint64]float64
+	traceOrder []uint64
+	traceNext  int
+	files      map[string]float64
+	fileOrder  []string
+	fileNext   int
+
+	arms          map[string]float64
+	backgroundJ   float64
+	totalJ        float64
+	evictedTraces uint64
+	evictedFiles  uint64
+}
+
+// NewEnergyLedger builds a ledger keeping at most capEntries per-trace
+// and per-file buckets each (<=0 means the default, 4096).
+func NewEnergyLedger(capEntries int) *EnergyLedger {
+	if capEntries <= 0 {
+		capEntries = 4096
+	}
+	return &EnergyLedger{
+		capEntries: capEntries,
+		traces:     make(map[uint64]float64),
+		files:      make(map[string]float64),
+		arms:       make(map[string]float64),
+	}
+}
+
+// Attribute credits joules to one dwell's cause: the given trace (0 =
+// background), file (empty = none), and policy arm.
+func (l *EnergyLedger) Attribute(traceID uint64, file, arm string, joules float64) {
+	if l == nil || joules == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.totalJ += joules
+	if arm != "" {
+		l.arms[arm] += joules
+	}
+	if traceID == 0 {
+		l.backgroundJ += joules
+	} else if _, ok := l.traces[traceID]; ok {
+		l.traces[traceID] += joules
+	} else {
+		if len(l.traceOrder) < l.capEntries {
+			l.traceOrder = append(l.traceOrder, traceID)
+		} else {
+			delete(l.traces, l.traceOrder[l.traceNext])
+			l.traceOrder[l.traceNext] = traceID
+			l.evictedTraces++
+		}
+		l.traceNext = (l.traceNext + 1) % l.capEntries
+		l.traces[traceID] = joules
+	}
+	if file != "" {
+		if _, ok := l.files[file]; ok {
+			l.files[file] += joules
+		} else {
+			if len(l.fileOrder) < l.capEntries {
+				l.fileOrder = append(l.fileOrder, file)
+			} else {
+				delete(l.files, l.fileOrder[l.fileNext])
+				l.fileOrder[l.fileNext] = file
+				l.evictedFiles++
+			}
+			l.fileNext = (l.fileNext + 1) % l.capEntries
+			l.files[file] = joules
+		}
+	}
+	l.mu.Unlock()
+}
+
+// TraceJ returns the joules attributed to one trace so far (0 when
+// unknown or evicted).
+func (l *EnergyLedger) TraceJ(traceID uint64) float64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.traces[traceID]
+}
+
+// TotalJ returns the grand total attributed so far.
+func (l *EnergyLedger) TotalJ() float64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalJ
+}
+
+// Snapshot returns a frozen copy of every bucket.
+func (l *EnergyLedger) Snapshot() EnergySnapshot {
+	out := EnergySnapshot{
+		PerArm:   map[string]float64{},
+		PerFile:  map[string]float64{},
+		PerTrace: map[string]float64{},
+	}
+	if l == nil {
+		return out
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out.TotalJ = l.totalJ
+	out.BackgroundJ = l.backgroundJ
+	out.EvictedTraces = l.evictedTraces
+	out.EvictedFiles = l.evictedFiles
+	for k, v := range l.arms {
+		out.PerArm[k] = v
+	}
+	for k, v := range l.files {
+		out.PerFile[k] = v
+	}
+	for k, v := range l.traces {
+		out.PerTrace[fmt.Sprintf("%016x", k)] = v
+	}
+	return out
+}

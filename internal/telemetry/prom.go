@@ -1,0 +1,92 @@
+// Prometheus text exposition (version 0.0.4) for a Registry snapshot.
+// Counters and gauges map directly; histograms emit the standard
+// cumulative _bucket/_sum/_count series plus derived p50/p99/p999
+// gauges, so a scraper gets quantiles even without histogram_quantile.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a metric name for the exposition format: the
+// dotted registry names become underscore-separated.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders one registry snapshot as Prometheus text. Families
+// are emitted in sorted name order so scrapes diff cleanly.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.N
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, fmt.Sprintf("%g", b.Le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Overflow
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			pn, cum, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.5}, {"p99", 0.99}, {"p999", 0.999}} {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %g\n",
+				pn, q.suffix, pn, q.suffix, h.Quantile(q.q)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+// Distributed tracing: a lock-light span recorder. A Tracer hands out
+// pooled Span objects keyed by a SpanContext (trace id / span id /
+// parent id) that the wire protocol can carry between processes, so one
+// client request produces a span tree covering every hop it caused —
+// redirects, retries, replication appends, server->node fan-out, and
+// buffer-disk state transitions.
+//
+// Sampling is head+tail: the root span draws a head-sampling decision
+// from its trace id (deterministic, so every process agrees without
+// coordination), and Finish additionally retains any span that errored
+// or ran longer than the slow threshold — tail capture, so the traces
+// an operator actually wants never depend on the sampling dice.
+//
+// Recording is a fixed-size ring buffer of SpanData values under a
+// short mutex; span structs recycle through a sync.Pool, so an
+// unsampled request's full span tree costs a few pool round trips and
+// zero retained allocations. Every method is nil-safe on a nil *Tracer
+// and nil *Span, matching the registry handles: callers instrument
+// unconditionally and pay only a nil check when tracing is off.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies one span's position in a trace. It is the part
+// of a span that crosses process boundaries (the wire carries it as a
+// frame extension). The zero value means "untraced".
+type SpanContext struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	// Sampled carries the root's head-sampling decision downstream, so
+	// every process records (or skips) the same traces without
+	// coordination. Tail capture ignores it for slow/error spans.
+	Sampled bool
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// SpanData is the recorded form of a finished span.
+type SpanData struct {
+	TraceID  uint64  `json:"trace_id"`
+	SpanID   uint64  `json:"span_id"`
+	ParentID uint64  `json:"parent_id,omitempty"`
+	Sampled  bool    `json:"sampled,omitempty"`
+	Service  string  `json:"service"`
+	Name     string  `json:"name"`
+	StartNs  int64   `json:"start_ns"`
+	DurS     float64 `json:"dur_s"`
+	Err      string  `json:"err,omitempty"`
+	EnergyJ  float64 `json:"energy_j,omitempty"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+}
+
+// TracerConfig tunes a Tracer. The zero value is usable: 4096-span
+// ring, sample everything, 250 ms slow threshold.
+type TracerConfig struct {
+	// Capacity is the span ring size (default 4096).
+	Capacity int
+	// SampleRate is the head-sampling fraction of traces recorded in
+	// full, in [0,1]. Zero means the default (1.0 — record everything);
+	// negative disables head sampling entirely (tail capture only).
+	SampleRate float64
+	// SlowThreshold marks a span for tail capture regardless of the
+	// head decision (default 250 ms). Negative disables tail capture
+	// by duration (errors are still always kept).
+	SlowThreshold time.Duration
+	// Seed decorrelates id sequences between processes (default 1).
+	Seed uint64
+}
+
+// TracerStats counts a tracer's activity.
+type TracerStats struct {
+	Started  uint64  `json:"started"`
+	Recorded uint64  `json:"recorded"`
+	Evicted  uint64  `json:"evicted"`
+	Capacity int     `json:"capacity"`
+	Rate     float64 `json:"sample_rate"`
+}
+
+// Tracer mints trace/span ids, decides sampling, and records finished
+// spans into a fixed-size ring. Safe for concurrent use; nil is a no-op.
+type Tracer struct {
+	cfg  TracerConfig
+	ids  atomic.Uint64
+	pool sync.Pool
+
+	started atomic.Uint64
+
+	mu       sync.Mutex
+	ring     []SpanData
+	next     int
+	recorded uint64
+	evicted  uint64
+}
+
+// NewTracer builds a tracer from cfg (see TracerConfig for defaults).
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	switch {
+	case cfg.SampleRate == 0:
+		cfg.SampleRate = 1
+	case cfg.SampleRate < 0:
+		cfg.SampleRate = 0
+	case cfg.SampleRate > 1:
+		cfg.SampleRate = 1
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	tr := &Tracer{cfg: cfg, ring: make([]SpanData, 0, cfg.Capacity)}
+	tr.pool.New = func() any { return new(Span) }
+	return tr
+}
+
+// splitmix64 is the id mixer: a counter fed through it yields distinct,
+// well-distributed 64-bit ids without time or global randomness, so id
+// sequences stay reproducible under a fixed seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (tr *Tracer) newID() uint64 {
+	for {
+		if id := splitmix64(tr.cfg.Seed ^ tr.ids.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// sampled maps a trace id onto the head-sampling decision: the id's top
+// 53 bits as a uniform [0,1) draw, the same in every process.
+func (tr *Tracer) sampled(traceID uint64) bool {
+	if tr.cfg.SampleRate >= 1 {
+		return true
+	}
+	if tr.cfg.SampleRate <= 0 {
+		return false
+	}
+	return float64(splitmix64(traceID)>>11)/(1<<53) < tr.cfg.SampleRate
+}
+
+func (tr *Tracer) span(service, name string, traceID, spanID, parentID uint64, sampled bool) *Span {
+	sp := tr.pool.Get().(*Span)
+	sp.tr = tr
+	sp.start = time.Now()
+	sp.data = SpanData{
+		TraceID: traceID, SpanID: spanID, ParentID: parentID, Sampled: sampled,
+		Service: service, Name: name,
+		StartNs: sp.start.UnixNano(),
+		Attrs:   sp.data.Attrs[:0],
+	}
+	tr.started.Add(1)
+	return sp
+}
+
+// StartRoot opens a new trace: a fresh trace id (the root span reuses it
+// as its span id) and a head-sampling decision drawn from it.
+func (tr *Tracer) StartRoot(service, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	tid := tr.newID()
+	return tr.span(service, name, tid, tid, 0, tr.sampled(tid))
+}
+
+// StartRemote opens the server-side span of a request that arrived with
+// sc extracted from the wire. An untraced request (zero sc) starts a
+// fresh root instead, so a tracing server still sees traffic from
+// clients that predate the context extension.
+func (tr *Tracer) StartRemote(sc SpanContext, service, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	if sc.TraceID == 0 {
+		return tr.StartRoot(service, name)
+	}
+	return tr.span(service, name, sc.TraceID, tr.newID(), sc.SpanID, sc.Sampled)
+}
+
+// StartChild opens a child span under an existing context, or returns
+// nil when the context is untraced.
+func (tr *Tracer) StartChild(sc SpanContext, service, name string) *Span {
+	if tr == nil || sc.TraceID == 0 {
+		return nil
+	}
+	return tr.span(service, name, sc.TraceID, tr.newID(), sc.SpanID, sc.Sampled)
+}
+
+// record copies a finishing span's data into the ring (deep-copying the
+// annotations — the span struct is about to be pooled).
+func (tr *Tracer) record(d SpanData) {
+	if len(d.Attrs) > 0 {
+		d.Attrs = append([]Attr(nil), d.Attrs...)
+	} else {
+		d.Attrs = nil
+	}
+	tr.mu.Lock()
+	if len(tr.ring) < cap(tr.ring) {
+		tr.ring = append(tr.ring, d)
+	} else {
+		tr.ring[tr.next] = d
+		tr.evicted++
+	}
+	tr.next = (tr.next + 1) % cap(tr.ring)
+	tr.recorded++
+	tr.mu.Unlock()
+}
+
+// Spans returns the ring contents, oldest first.
+func (tr *Tracer) Spans() []SpanData {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]SpanData, 0, len(tr.ring))
+	if len(tr.ring) == cap(tr.ring) {
+		out = append(out, tr.ring[tr.next:]...)
+		out = append(out, tr.ring[:tr.next]...)
+	} else {
+		out = append(out, tr.ring...)
+	}
+	return out
+}
+
+// Traces groups the ring contents by trace id.
+func (tr *Tracer) Traces() map[uint64][]SpanData {
+	spans := tr.Spans()
+	out := make(map[uint64][]SpanData)
+	for _, d := range spans {
+		out[d.TraceID] = append(out[d.TraceID], d)
+	}
+	return out
+}
+
+// Stats reports the tracer's activity counters.
+func (tr *Tracer) Stats() TracerStats {
+	if tr == nil {
+		return TracerStats{}
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return TracerStats{
+		Started:  tr.started.Load(),
+		Recorded: tr.recorded,
+		Evicted:  tr.evicted,
+		Capacity: cap(tr.ring),
+		Rate:     tr.cfg.SampleRate,
+	}
+}
+
+// Orphans returns the spans whose parent does not resolve within their
+// own trace. A well-formed trace tree has none (ring eviction aside —
+// check against a ring large enough to hold the workload).
+func Orphans(spans []SpanData) []SpanData {
+	known := make(map[uint64]map[uint64]bool)
+	for _, d := range spans {
+		m := known[d.TraceID]
+		if m == nil {
+			m = make(map[uint64]bool)
+			known[d.TraceID] = m
+		}
+		m[d.SpanID] = true
+	}
+	var out []SpanData
+	for _, d := range spans {
+		if d.ParentID != 0 && !known[d.TraceID][d.ParentID] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Span is one in-flight operation. All methods are nil-safe, and a span
+// is owned by the goroutine that started it until Finish (Child may be
+// called concurrently — it only reads the immutable identity fields).
+type Span struct {
+	tr    *Tracer
+	start time.Time
+	data  SpanData
+}
+
+// Context returns the span's wire context (zero on nil).
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{
+		TraceID: sp.data.TraceID, SpanID: sp.data.SpanID,
+		ParentID: sp.data.ParentID, Sampled: sp.data.Sampled,
+	}
+}
+
+// TraceID returns the span's trace id (0 on nil).
+func (sp *Span) TraceID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.data.TraceID
+}
+
+// Child opens a child span in the same service.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr.span(sp.data.Service, name, sp.data.TraceID, sp.tr.newID(),
+		sp.data.SpanID, sp.data.Sampled)
+}
+
+// Annotate attaches one key/value to the span.
+func (sp *Span) Annotate(key, val string) {
+	if sp == nil {
+		return
+	}
+	sp.data.Attrs = append(sp.data.Attrs, Attr{Key: key, Val: val})
+}
+
+// AddEnergy accumulates joules attributed to this span (the energy
+// ledger's per-span view of the disk observer join).
+func (sp *Span) AddEnergy(j float64) {
+	if sp == nil {
+		return
+	}
+	sp.data.EnergyJ += j
+}
+
+// Fail records err on the span (nil err is a no-op). Errored spans are
+// always retained, regardless of sampling.
+func (sp *Span) Fail(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.data.Err = err.Error()
+}
+
+// Finish closes the span: it is recorded if head-sampled, errored, or
+// slower than the tail-capture threshold, and the struct returns to the
+// pool either way. The span must not be used afterwards.
+func (sp *Span) Finish() {
+	if sp == nil {
+		return
+	}
+	tr := sp.tr
+	dur := time.Since(sp.start)
+	sp.data.DurS = dur.Seconds()
+	if sp.data.Sampled || sp.data.Err != "" ||
+		(tr.cfg.SlowThreshold >= 0 && dur >= tr.cfg.SlowThreshold) {
+		tr.record(sp.data)
+	}
+	sp.tr = nil
+	tr.pool.Put(sp)
+}
+
+// End is Fail + Finish in one call, for defer-friendly call sites.
+func (sp *Span) End(err error) {
+	if sp == nil {
+		return
+	}
+	sp.Fail(err)
+	sp.Finish()
+}

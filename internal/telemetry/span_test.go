@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allTracer records everything: full head sampling, no slow threshold in
+// play, plenty of ring.
+func allTracer() *Tracer {
+	return NewTracer(TracerConfig{Capacity: 1 << 12, SampleRate: 1})
+}
+
+func TestSpanTreeIdentity(t *testing.T) {
+	tr := allTracer()
+	root := tr.StartRoot("client", "client.read")
+	rc := root.Context()
+	if rc.TraceID == 0 || rc.TraceID != rc.SpanID || rc.ParentID != 0 {
+		t.Fatalf("root context = %+v", rc)
+	}
+	child := root.Child("client.rt.server")
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID || cc.ParentID != rc.SpanID || cc.SpanID == rc.SpanID {
+		t.Fatalf("child context = %+v under root %+v", cc, rc)
+	}
+	// Remote continuation, as the server side would start it.
+	remote := tr.StartRemote(cc, "server", "server.lookup")
+	mc := remote.Context()
+	if mc.TraceID != rc.TraceID || mc.ParentID != cc.SpanID {
+		t.Fatalf("remote context = %+v under %+v", mc, cc)
+	}
+	remote.Finish()
+	child.Finish()
+	root.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	if or := Orphans(spans); len(or) != 0 {
+		t.Fatalf("orphan spans: %+v", or)
+	}
+}
+
+func TestStartRemoteZeroContextStartsRoot(t *testing.T) {
+	tr := allTracer()
+	sp := tr.StartRemote(SpanContext{}, "server", "server.stats")
+	sc := sp.Context()
+	if sc.TraceID == 0 || sc.TraceID != sc.SpanID || sc.ParentID != 0 {
+		t.Fatalf("remote-from-zero context = %+v, want fresh root", sc)
+	}
+	sp.Finish()
+}
+
+func TestStartChildZeroContextIsNil(t *testing.T) {
+	tr := allTracer()
+	if sp := tr.StartChild(SpanContext{}, "server", "x"); sp != nil {
+		t.Fatal("StartChild on zero context must return nil")
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("s", "n")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// All of these must be safe on nil.
+	sp.Annotate("k", "v")
+	sp.AddEnergy(1)
+	sp.Fail(errors.New("x"))
+	child := sp.Child("c")
+	if child != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	sp.End(errors.New("x"))
+	sp.Finish()
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v", got)
+	}
+	if sc := sp.Context(); sc != (SpanContext{}) {
+		t.Fatalf("nil span context = %+v", sc)
+	}
+	_ = tr.Stats()
+}
+
+func TestHeadSamplingDeterministicAndProportional(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 0.25})
+	kept := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		id := splitmix64(uint64(i) + 1)
+		a, b := tr.sampled(id), tr.sampled(id)
+		if a != b {
+			t.Fatalf("sampling decision for %#x not deterministic", id)
+		}
+		if a {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("sample fraction %.3f far from 0.25", frac)
+	}
+}
+
+func TestUnsampledSpanNotRecorded(t *testing.T) {
+	// SampleRate < 0 disables head sampling entirely; SlowThreshold < 0
+	// disables tail capture by duration. Only errors survive.
+	tr := NewTracer(TracerConfig{SampleRate: -1, SlowThreshold: -1})
+	ok := tr.StartRoot("s", "fine")
+	ok.Finish()
+	bad := tr.StartRoot("s", "broken")
+	bad.End(errors.New("disk on fire"))
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "broken" || spans[0].Err != "disk on fire" {
+		t.Fatalf("tail capture kept %+v, want only the errored span", spans)
+	}
+}
+
+func TestTailCaptureKeepsSlowSpans(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: -1, SlowThreshold: time.Nanosecond})
+	sp := tr.StartRoot("s", "slow")
+	time.Sleep(time.Millisecond)
+	sp.Finish()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "slow" {
+		t.Fatalf("slow span not tail-captured: %+v", spans)
+	}
+	if spans[0].Sampled {
+		t.Fatal("tail-captured span must not claim head sampling")
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	for i := 0; i < 7; i++ {
+		sp := tr.StartRoot("s", fmt.Sprintf("op%d", i))
+		sp.Finish()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	for i, d := range spans {
+		if want := fmt.Sprintf("op%d", i+3); d.Name != want {
+			t.Fatalf("ring[%d] = %s, want %s (oldest-first)", i, d.Name, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Recorded != 7 || st.Evicted != 3 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSpanAnnotationsAndEnergySurvivePooling(t *testing.T) {
+	tr := allTracer()
+	sp := tr.StartRoot("node", "disk.read")
+	sp.Annotate("disk", "data0")
+	sp.AddEnergy(13.5)
+	sp.Finish()
+	// Reuse the pooled struct; its attrs must not bleed into the record.
+	sp2 := tr.StartRoot("node", "disk.write")
+	sp2.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans", len(spans))
+	}
+	first := spans[0]
+	if len(first.Attrs) != 1 || first.Attrs[0] != (Attr{Key: "disk", Val: "data0"}) {
+		t.Fatalf("attrs = %+v", first.Attrs)
+	}
+	if first.EnergyJ != 13.5 {
+		t.Fatalf("energy = %v", first.EnergyJ)
+	}
+	if len(spans[1].Attrs) != 0 || spans[1].EnergyJ != 0 {
+		t.Fatalf("pooled state leaked into second span: %+v", spans[1])
+	}
+}
+
+func TestOrphansDetectsMissingParent(t *testing.T) {
+	spans := []SpanData{
+		{TraceID: 1, SpanID: 1},
+		{TraceID: 1, SpanID: 2, ParentID: 1},
+		{TraceID: 1, SpanID: 3, ParentID: 99}, // dangling
+		{TraceID: 2, SpanID: 1, ParentID: 2},  // parent exists only in trace 1
+	}
+	or := Orphans(spans)
+	if len(or) != 2 {
+		t.Fatalf("orphans = %+v, want 2", or)
+	}
+}
+
+func TestTracesGroupsByTraceID(t *testing.T) {
+	tr := allTracer()
+	a := tr.StartRoot("s", "a")
+	aID := a.TraceID()
+	ac := a.Child("a.1")
+	ac.Finish()
+	a.Finish()
+	b := tr.StartRoot("s", "b")
+	bID := b.TraceID()
+	b.Finish()
+	byTrace := tr.Traces()
+	if len(byTrace) != 2 {
+		t.Fatalf("traces = %d, want 2", len(byTrace))
+	}
+	if len(byTrace[aID]) != 2 || len(byTrace[bID]) != 1 {
+		t.Fatalf("trace sizes: a=%d b=%d", len(byTrace[aID]), len(byTrace[bID]))
+	}
+}
+
+func TestChromeSpanExportShape(t *testing.T) {
+	tr := allTracer()
+	root := tr.StartRoot("client", "client.read")
+	ch := root.Child("client.rt.server")
+	ch.Finish()
+	root.Finish()
+	var sb strings.Builder
+	if err := WriteChromeSpans(&sb, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"client.read"`, `"client.rt.server"`, `"trace_id"`, `"ph":"X"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -162,6 +162,12 @@ type HistogramSnapshot struct {
 	// observations above the last bound.
 	Buckets  []BucketCount `json:"buckets"`
 	Overflow int64         `json:"overflow"`
+	// P50/P99/P999 are bucket-interpolated quantiles, precomputed so
+	// JSON and Prometheus consumers get tail latency without redoing
+	// the interpolation.
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
 }
 
 // Mean returns the mean observation (0 with no observations).
@@ -207,6 +213,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		out.Buckets[i] = BucketCount{Le: le, N: h.counts[i].Load()}
 	}
 	out.Overflow = h.counts[len(h.bounds)].Load()
+	out.P50 = out.Quantile(0.5)
+	out.P99 = out.Quantile(0.99)
+	out.P999 = out.Quantile(0.999)
 	return out
 }
 
