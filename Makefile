@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-compare cover soak soak-failover
+.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-stream bench-compare cover soak soak-failover
 
 build:
 	$(GO) build ./...
@@ -14,18 +14,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the codecs (v1 + multiplexed v2 framing) and the
-# fault-injected frame path.
+# Short fuzz pass over the codecs (v1 + multiplexed v2 framing), the
+# stream demux, and the fault-injected frame path.
 fuzz:
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrame$$ -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadFrameID -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzMessageDecoders -fuzztime=15s
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzRepDecoders -fuzztime=15s
+	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadStreamFrames -fuzztime=15s
 	$(GO) test ./internal/faultnet -run=^$$ -fuzz=FuzzCorruptedFrames -fuzztime=15s
 
 # Snapshot every benchmark once (test2json stream) so perf regressions
 # can be diffed against a committed baseline.
-bench: bench-parallel bench-mux bench-trace
+bench: bench-parallel bench-mux bench-trace bench-stream
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_baseline.json
 
 # The parallel-engine comparison (ISSUE 3 acceptance): sweep wall-clock
@@ -54,6 +55,15 @@ bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
 		-benchtime 200x -count 3 -benchmem -json ./internal/proto > BENCH_trace.json
 
+# The streaming data-plane comparison (ISSUE 8 acceptance): chunked
+# streamed reads at 1KB / 1MB / 64MB plus a streamed write and the
+# whole-payload RPC read as the contrast row. The allocs/op columns are
+# the O(chunk) guard — a 64MB read allocating like the file size means
+# the pool regressed.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' \
+		-benchtime 1x -count 3 -benchmem -json ./internal/fs > BENCH_stream.json
+
 # The CI perf-regression gate: rerun the gated benchmark suites fresh and
 # diff them against the committed baselines. Fails on a >25% geomean
 # regression; override the threshold with BENCH_MAX_REGRESS (e.g.
@@ -71,8 +81,10 @@ bench-compare:
 		-benchtime 200x -count 3 -json ./internal/proto >> $$tmp && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
 		-benchtime 200x -count 3 -benchmem -json ./internal/proto >> $$tmp && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkStream' \
+		-benchtime 1x -count 3 -benchmem -json ./internal/fs >> $$tmp && \
 	  $(GO) run ./cmd/benchdiff -max $(BENCH_MAX_REGRESS) -normalize \
-		-fresh $$tmp BENCH_parallel.json BENCH_mux.json BENCH_trace.json; }; \
+		-fresh $$tmp BENCH_parallel.json BENCH_mux.json BENCH_trace.json BENCH_stream.json; }; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 # Coverage with a ratchet: the total must never drop below the committed

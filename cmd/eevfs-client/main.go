@@ -4,6 +4,8 @@
 //
 //	eevfs-client -server host:port put <name> <local-file>
 //	eevfs-client -server host:port get <name> [local-file]
+//	eevfs-client -server host:port stream-put <name> <local-file>
+//	eevfs-client -server host:port stream-get <name> [local-file]
 //	eevfs-client -server host:port ls
 //	eevfs-client -server host:port rm <name>
 //	eevfs-client -server host:port prefetch <k>
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -107,6 +110,74 @@ func main() {
 			fmt.Printf("fetched %s (%d bytes, from %s) -> %s\n", args[1], len(data), src, args[2])
 		} else {
 			os.Stdout.Write(data)
+		}
+
+	case "stream-put":
+		// Chunked upload through the streaming data plane: the file is
+		// never held in memory, so this is the path for content larger
+		// than a comfortable single RPC payload. Streaming replaces an
+		// existing name's content, so a fresh name gets a placeholder
+		// create first (which also decides placement).
+		if len(args) != 3 {
+			usage()
+		}
+		f, err := os.Open(args[2])
+		if err != nil {
+			die(err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			die(err)
+		}
+		buffered, err := cl.WriteFrom(args[1], info.Size(), f)
+		if errors.Is(err, fs.ErrFileNotFound) {
+			if err = cl.Create(args[1], []byte{0}); err == nil {
+				if _, serr := f.Seek(0, 0); serr != nil {
+					f.Close()
+					die(serr)
+				}
+				buffered, err = cl.WriteFrom(args[1], info.Size(), f)
+			}
+		}
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		dst := "data disks"
+		if buffered {
+			dst = "buffer disk (write buffer)"
+		}
+		fmt.Printf("streamed %s (%d bytes) -> %s\n", args[1], info.Size(), dst)
+
+	case "stream-get":
+		if len(args) < 2 || len(args) > 3 {
+			usage()
+		}
+		var w *os.File
+		if len(args) == 3 {
+			w, err = os.Create(args[2])
+			if err != nil {
+				die(err)
+			}
+		} else {
+			w = os.Stdout
+		}
+		n, fromBuffer, err := cl.ReadTo(args[1], w)
+		if len(args) == 3 {
+			if cerr := w.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			die(err)
+		}
+		if len(args) == 3 {
+			src := "data disk"
+			if fromBuffer {
+				src = "buffer disk"
+			}
+			fmt.Printf("streamed %s (%d bytes, from %s) -> %s\n", args[1], n, src, args[2])
 		}
 
 	case "ls":
@@ -244,6 +315,8 @@ func usage() {
 commands:
   put <name> <local-file>   store a file
   get <name> [local-file]   fetch a file (stdout if no target)
+  stream-put <name> <local-file>  replace content via the chunked streaming plane (O(chunk) memory)
+  stream-get <name> [local-file]  fetch via the streaming plane (stdout if no target)
   ls                        list files
   rm <name>                 delete a file
   prefetch <k>              prefetch the top-k popular files

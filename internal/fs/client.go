@@ -234,17 +234,23 @@ func (c *Client) serverRT(t proto.Type, payload []byte, parent *telemetry.Span) 
 	return 0, nil, lastErr
 }
 
-// nodeRT performs one round trip on a (cached) node endpoint. The
-// endpoint handles redials, deadlines, and retries; a dead connection is
-// always discarded before the next attempt.
-func (c *Client) nodeRT(addr string, t proto.Type, payload []byte, parent *telemetry.Span) (proto.Type, []byte, error) {
+// nodeEp returns the (cached) endpoint for one storage-node address.
+func (c *Client) nodeEp(addr string) *proto.Endpoint {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	ep, ok := c.nodes[addr]
 	if !ok {
 		ep = proto.NewEndpoint(addr, c.cfg.Dialer, c.cfg.Transport)
 		c.nodes[addr] = ep
 	}
-	c.mu.Unlock()
+	return ep
+}
+
+// nodeRT performs one round trip on a (cached) node endpoint. The
+// endpoint handles redials, deadlines, and retries; a dead connection is
+// always discarded before the next attempt.
+func (c *Client) nodeRT(addr string, t proto.Type, payload []byte, parent *telemetry.Span) (proto.Type, []byte, error) {
+	ep := c.nodeEp(addr)
 	sp := parent.Child("client.rt.node")
 	sp.Annotate("peer", addr)
 	rt, rp, err := ep.CallCtx(t, payload, sp.Context())

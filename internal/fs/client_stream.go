@@ -1,0 +1,232 @@
+// The client side of the streaming data plane (DESIGN.md §19): OpenRead
+// returns an io.ReadCloser pulling a file through pooled chunk buffers,
+// OpenWrite/WriteFrom push one through the node's credit window — both
+// with O(chunk) client memory regardless of file size, per-stream trace
+// spans, and the same typed-error surface as the RPC paths.
+package fs
+
+import (
+	"fmt"
+	"io"
+
+	"eevfs/internal/proto"
+	"eevfs/internal/telemetry"
+)
+
+// StreamOptions tunes one streamed transfer. The zero value asks for the
+// node's preferred chunk size and the default flow-control window.
+type StreamOptions struct {
+	// ChunkBytes requests a specific data-frame size (clamped to
+	// [proto.MinStreamChunk, proto.MaxStreamChunk]; 0 = node preference).
+	ChunkBytes int
+	// Window requests a flow-control credit window (clamped to
+	// proto.MaxStreamWindow; 0 = proto.DefaultStreamWindow).
+	Window int
+}
+
+// FileReader is one open streamed read: an io.ReadCloser over the file's
+// content. Errors surface typed (fs sentinels / *proto.TransportError);
+// Close before EOF aborts the transfer upstream.
+type FileReader struct {
+	rs    *proto.ReadStream
+	sp    *telemetry.Span // root client.stream.read span
+	att   *telemetry.Span // node round-trip child span
+	fin   bool
+	final error
+}
+
+// Size returns the total byte count the stream delivers.
+func (r *FileReader) Size() int64 { return r.rs.Size() }
+
+// FromBuffer reports whether the node serves the stream from its buffer
+// disk.
+func (r *FileReader) FromBuffer() bool { return r.rs.FromBuffer() }
+
+// Read implements io.Reader.
+func (r *FileReader) Read(p []byte) (int, error) {
+	n, err := r.rs.Read(p)
+	if err != nil && err != io.EOF {
+		err = mapRemote(err)
+	}
+	if err != nil && !r.fin {
+		r.fin = true
+		if err == io.EOF {
+			r.att.Finish()
+			r.sp.Finish()
+		} else {
+			r.final = err
+			r.att.End(err)
+			r.sp.End(err)
+		}
+	}
+	return n, err
+}
+
+// Close releases the stream; closing before EOF aborts the transfer.
+func (r *FileReader) Close() error {
+	err := r.rs.Close()
+	if !r.fin {
+		r.fin = true
+		r.att.Finish()
+		r.sp.Finish()
+	}
+	return err
+}
+
+// OpenRead opens a streamed read of name: lookup on the server (with the
+// usual failover walk), then a chunked stream straight from the owning
+// storage node. A transport fault during the open is retried once
+// against a fresh lookup, so a node redirect or replica change heals
+// transparently; faults after data starts flowing surface to the caller
+// (a partially consumed stream cannot be transparently replayed).
+func (c *Client) OpenRead(name string, opts StreamOptions) (fr *FileReader, err error) {
+	sp := c.startOp("stream.read", name)
+	defer func() {
+		if err != nil {
+			sp.End(err)
+		}
+	}()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		_, payload, err := c.serverRT(proto.TLookupReq, proto.LookupReq{Name: name}.Encode(), sp)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := proto.DecodeLookupResp(payload)
+		if err != nil {
+			return nil, err
+		}
+		att := sp.Child("client.rt.node.stream")
+		att.Annotate("peer", loc.NodeAddr)
+		rs, err := c.nodeEp(loc.NodeAddr).OpenReadStream(proto.StreamOpenReq{
+			FileID:    loc.FileID,
+			ChunkSize: uint32(opts.ChunkBytes),
+			Window:    uint32(opts.Window),
+		}, att.Context())
+		if err == nil {
+			return &FileReader{rs: rs, sp: sp, att: att}, nil
+		}
+		lastErr = mapRemote(err)
+		att.End(lastErr)
+		if !isTransportErr(err) {
+			return nil, lastErr
+		}
+		// Transport fault before any data moved: redo the lookup (the
+		// server may place us on a replica) and try once more.
+	}
+	return nil, lastErr
+}
+
+// FileWriter is one open streamed write: an io.WriteCloser that must
+// receive exactly the declared size and be Closed to commit. Buffered
+// reports (after Close) whether the node's write-buffer absorbed it.
+type FileWriter struct {
+	ws  *proto.WriteStream
+	sp  *telemetry.Span
+	att *telemetry.Span
+	fin bool
+}
+
+// Write implements io.Writer.
+func (w *FileWriter) Write(p []byte) (int, error) {
+	n, err := w.ws.Write(p)
+	if err != nil {
+		err = mapRemote(err)
+	}
+	return n, err
+}
+
+// Close commits the write (the node acknowledges after landing all
+// bytes) and ends the stream's spans.
+func (w *FileWriter) Close() error {
+	err := w.ws.Close()
+	if err != nil {
+		err = mapRemote(err)
+	}
+	if !w.fin {
+		w.fin = true
+		w.att.End(err)
+		w.sp.End(err)
+	}
+	return err
+}
+
+// Buffered reports whether the node's write-buffer area absorbed the
+// content. Valid after a successful Close.
+func (w *FileWriter) Buffered() bool { return w.ws.Buffered() }
+
+// OpenWrite opens a streamed replacement of name's content with exactly
+// size bytes. The lookup declares write intent, so the server
+// invalidates any buffer-disk replica before the stream opens — the
+// same stale-mirror guarantee as the RPC Write path.
+func (c *Client) OpenWrite(name string, size int64, opts StreamOptions) (fw *FileWriter, err error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("fs: refusing to stream empty content to %q", name)
+	}
+	sp := c.startOp("stream.write", name)
+	defer func() {
+		if err != nil {
+			sp.End(err)
+		}
+	}()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		_, payload, err := c.serverRT(proto.TLookupWriteReq, proto.LookupReq{Name: name}.Encode(), sp)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := proto.DecodeLookupResp(payload)
+		if err != nil {
+			return nil, err
+		}
+		att := sp.Child("client.rt.node.stream")
+		att.Annotate("peer", loc.NodeAddr)
+		ws, err := c.nodeEp(loc.NodeAddr).OpenWriteStream(proto.StreamOpenReq{
+			FileID:    loc.FileID,
+			Size:      size,
+			ChunkSize: uint32(opts.ChunkBytes),
+			Window:    uint32(opts.Window),
+		}, att.Context())
+		if err == nil {
+			return &FileWriter{ws: ws, sp: sp, att: att}, nil
+		}
+		lastErr = mapRemote(err)
+		att.End(lastErr)
+		if !isTransportErr(err) {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// WriteFrom streams size bytes from r into name: OpenWrite + io.Copy +
+// Close. buffered reports whether the node's write-buffer absorbed it.
+func (c *Client) WriteFrom(name string, size int64, r io.Reader) (buffered bool, err error) {
+	w, err := c.OpenWrite(name, size, StreamOptions{})
+	if err != nil {
+		return false, err
+	}
+	if _, err := io.Copy(w, io.LimitReader(r, size)); err != nil {
+		w.Close()
+		return false, err
+	}
+	if err := w.Close(); err != nil {
+		return false, err
+	}
+	return w.Buffered(), nil
+}
+
+// ReadTo streams name's content into w: OpenRead + io.Copy + Close.
+// fromBuffer reports whether the node's buffer disk served it.
+func (c *Client) ReadTo(name string, w io.Writer) (n int64, fromBuffer bool, err error) {
+	r, err := c.OpenRead(name, StreamOptions{})
+	if err != nil {
+		return 0, false, err
+	}
+	defer r.Close()
+	n, err = io.Copy(w, r)
+	if err != nil {
+		return n, r.FromBuffer(), err
+	}
+	return n, r.FromBuffer(), nil
+}

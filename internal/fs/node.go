@@ -51,6 +51,10 @@ type NodeConfig struct {
 	// Chunk reads and writes proceed in parallel across the spindles.
 	// Zero stores each file whole on one data disk.
 	StripeChunkBytes int64
+	// StreamChunkBytes is the node's preferred data-frame size for the
+	// streaming read/write path (DESIGN.md §19); a client's explicit
+	// chunk-size request wins. Zero means proto.DefaultStreamChunk.
+	StreamChunkBytes int64
 	// WriteTimeout bounds writing one response frame, so a stalled or
 	// partitioned peer cannot pin a serving goroutine (default 30s).
 	WriteTimeout time.Duration
@@ -137,11 +141,13 @@ type Node struct {
 	// Pre-resolved telemetry handles (all no-ops with a nil registry);
 	// hitsC/missesC/bufWritesC mirror the counters above into the
 	// registry so the admin endpoint sees them live.
-	met        opMetrics
-	hitsC      *telemetry.Counter
-	missesC    *telemetry.Counter
-	bufWritesC *telemetry.Counter
-	flushesC   *telemetry.Counter
+	met           opMetrics
+	hitsC         *telemetry.Counter
+	missesC       *telemetry.Counter
+	bufWritesC    *telemetry.Counter
+	flushesC      *telemetry.Counter
+	streamBytesC  *telemetry.Counter
+	streamChunksC *telemetry.Counter
 }
 
 // StartNode creates the disk directories, binds the listener, and starts
@@ -171,7 +177,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		proto.TNodeCreateReq, proto.TNodeWriteReq, proto.TNodeReadReq,
 		proto.TNodeReadAtReq, proto.TNodeDeleteReq, proto.TNodePrefetchReq,
 		proto.TNodeHintsReq, proto.TNodeStatsReq,
+		proto.TStreamReadReq, proto.TStreamWriteReq,
 	})
+	n.streamBytesC = cfg.Metrics.Counter("node.stream.bytes")
+	n.streamChunksC = cfg.Metrics.Counter("node.stream.chunks")
 	n.hitsC = cfg.Metrics.Counter("node.buffer.hits")
 	n.missesC = cfg.Metrics.Counter("node.buffer.misses")
 	n.bufWritesC = cfg.Metrics.Counter("node.buffer.writes")
@@ -280,7 +289,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.mu.Unlock()
 		conn.Close()
 	}()
-	serveFrames(conn, n.cfg.WriteTimeout, n.dispatch)
+	serveFrames(conn, n.cfg.WriteTimeout, n.dispatch, n.dispatchStream)
 }
 
 func (n *Node) dispatch(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error) {

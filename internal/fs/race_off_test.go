@@ -1,0 +1,5 @@
+//go:build !race
+
+package fs
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fs
+
+// raceEnabled reports whether this test binary was built with the race
+// detector (which intentionally randomizes sync.Pool reuse, invalidating
+// allocation-count assertions).
+const raceEnabled = true

@@ -416,7 +416,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
-	serveFrames(conn, s.cfg.WriteTimeout, s.dispatch)
+	// The metadata server has no data plane: nil stream handler, so
+	// stream opens are rejected with a typed error.
+	serveFrames(conn, s.cfg.WriteTimeout, s.dispatch, nil)
 }
 
 func (s *Server) dispatch(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error) {

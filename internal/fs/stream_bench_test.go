@@ -1,0 +1,126 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"testing"
+
+	"eevfs/internal/disk"
+)
+
+// Streaming data-plane throughput and allocation profile: the
+// BENCH_stream.json numbers behind make bench-compare. The allocs/op
+// columns are the O(chunk) guard — a 64 MB streamed read must not
+// allocate meaningfully more than a 1 MB one, because every data frame
+// cycles through the shared chunk pool.
+
+func benchStreamCluster(b *testing.B) *Client {
+	b.Helper()
+	quiet := log.New(io.Discard, "", 0)
+	n, err := StartNode(NodeConfig{
+		Addr:             "127.0.0.1:0",
+		RootDir:          b.TempDir(),
+		DataDisks:        2,
+		DataModel:        disk.ModelType1,
+		BufferModel:      disk.ModelType1,
+		IdleThresholdSec: 5,
+		TimeScale:        2000,
+		InjectLatency:    false, // pure data-path numbers
+		Logger:           quiet,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	srv, err := StartServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NodeAddrs: []string{n.Addr()},
+		Logger:    quiet,
+		Health:    HealthConfig{ProbeInterval: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func benchStreamRead(b *testing.B, size int) {
+	cl := benchStreamCluster(b)
+	content := bytes.Repeat([]byte("streaming-data-plane-payload...."), (size+31)/32)[:size]
+	if err := cl.Create("bench.dat", content); err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up pass establishes the connection and primes the pool.
+	if _, _, err := cl.ReadTo("bench.dat", io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cl.OpenRead("bench.dat", StreamOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.CopyBuffer(io.Discard, r, buf)
+		if err != nil || n != int64(size) {
+			b.Fatalf("copy: n=%d err=%v", n, err)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamRead1KB(b *testing.B)  { benchStreamRead(b, 1<<10) }
+func BenchmarkStreamRead1MB(b *testing.B)  { benchStreamRead(b, 1<<20) }
+func BenchmarkStreamRead64MB(b *testing.B) { benchStreamRead(b, 64<<20) }
+
+func BenchmarkStreamWrite1MB(b *testing.B) {
+	cl := benchStreamCluster(b)
+	const size = 1 << 20
+	content := bytes.Repeat([]byte("w"), size)
+	if err := cl.Create("bench.dat", []byte("seed")); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.WriteFrom("bench.dat", size, bytes.NewReader(content)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamReadRPCBaseline is the comparison column: the
+// whole-payload RPC read of the same 1 MB file, which materializes the
+// entire content in one allocation on both sides.
+func BenchmarkStreamReadRPCBaseline1MB(b *testing.B) {
+	cl := benchStreamCluster(b)
+	content := bytes.Repeat([]byte("r"), 1<<20)
+	if err := cl.Create("bench.dat", content); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := cl.Read("bench.dat")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != 1<<20 {
+			b.Fatal(fmt.Errorf("short read: %d", len(got)))
+		}
+	}
+}

@@ -41,6 +41,10 @@ func opName(t proto.Type) string {
 		return "repl.snapshot"
 	case proto.TRepStatusReq:
 		return "repl.status"
+	case proto.TStreamReadReq:
+		return "stream.read"
+	case proto.TStreamWriteReq:
+		return "stream.write"
 	default:
 		return "other"
 	}

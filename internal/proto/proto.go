@@ -82,6 +82,21 @@ const (
 	// TLookupResp, so a subsequent direct write cannot leave a stale
 	// mirror behind.
 	TLookupWriteReq
+	// Streaming data plane (DESIGN.md §19). A stream is opened by a
+	// TStreamReadReq or TStreamWriteReq carrying a StreamOpenReq; every
+	// later frame of the stream reuses the open frame's request id,
+	// interleaved with ordinary round trips on the same multiplexed
+	// connection. TDataFrame payloads are raw chunk bytes (no length
+	// prefix); TStreamEnd terminates a direction cleanly; TStreamAbort
+	// (an ErrorMsg payload) terminates it with a typed failure; and
+	// TStreamCredit replenishes the receiver-granted flow-control window.
+	TStreamReadReq
+	TStreamWriteReq
+	TStreamOpenResp
+	TDataFrame
+	TStreamEnd
+	TStreamAbort
+	TStreamCredit
 )
 
 // Errors returned by the codec.
@@ -182,23 +197,34 @@ func WriteFrameID(w io.Writer, t Type, id uint32, payload []byte) error {
 	return err
 }
 
-// ReadFrameID receives one v2 frame, returning its type, request id, and
-// payload. The payload is freshly allocated and owned by the caller.
-func ReadFrameID(r io.Reader) (Type, uint32, []byte, error) {
+// ReadFrameHeader receives one v2 frame's header, returning its type,
+// request id, and payload length. The caller reads (or discards) exactly
+// that many payload bytes next — splitting header from payload lets
+// stream demuxers route the payload into a pooled chunk buffer instead
+// of a fresh allocation per frame.
+func ReadFrameHeader(r io.Reader) (Type, uint32, int, error) {
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n < v2HeaderLen {
-		return 0, 0, nil, ErrShortV2Frame
+		return 0, 0, 0, ErrShortV2Frame
 	}
 	if n > MaxFrame {
-		return 0, 0, nil, ErrFrameTooLarge
+		return 0, 0, 0, ErrFrameTooLarge
 	}
-	t := Type(hdr[4])
-	id := binary.BigEndian.Uint32(hdr[5:])
-	payload := make([]byte, n-v2HeaderLen)
+	return Type(hdr[4]), binary.BigEndian.Uint32(hdr[5:]), int(n - v2HeaderLen), nil
+}
+
+// ReadFrameID receives one v2 frame, returning its type, request id, and
+// payload. The payload is freshly allocated and owned by the caller.
+func ReadFrameID(r io.Reader) (Type, uint32, []byte, error) {
+	t, id, n, err := ReadFrameHeader(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, 0, nil, err
 	}

@@ -1,0 +1,656 @@
+// Streaming data plane (DESIGN.md §19): chunked TDataFrames interleaved
+// by request id on the multiplexed connection, so multi-MB files move
+// through O(chunk) memory instead of one whole-payload response frame.
+//
+// Wire shape of a read stream (client pulls from a node):
+//
+//	client                             node
+//	  TStreamReadReq{file, chunk, win} ->
+//	                                   <- TStreamOpenResp{fromBuffer, size}
+//	                                   <- TDataFrame xN   (within win credits)
+//	  TStreamCredit{n} ->                                 (replenish)
+//	                                   <- TStreamEnd      (clean end)
+//
+// A write stream is the mirror image: the node grants the window in its
+// TStreamOpenResp, the client sends TDataFrames within it, closes with
+// TStreamEnd, and the node answers with a final TStreamEnd{Buffered}.
+// Either side may send TStreamAbort (an ErrorMsg payload) instead; it
+// terminates the stream with a typed *RemoteError and leaves the
+// connection — and every other stream and round trip on it — healthy.
+// Transport faults keep the all-or-nothing rule: poisoning a connection
+// generation fails every open stream with the same typed error.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"eevfs/internal/telemetry"
+)
+
+// Stream chunk/window defaults and bounds. The chunk pool recycles
+// buffers of DefaultStreamChunk capacity, so negotiated chunk sizes at or
+// under it are allocation-free in steady state.
+const (
+	DefaultStreamChunk  = 256 << 10
+	MinStreamChunk      = 512
+	MaxStreamChunk      = 4 << 20
+	DefaultStreamWindow = 8
+	MaxStreamWindow     = 64
+
+	// streamRecvSlack pads a stream's receive queue past its credit
+	// window: control frames (open response, end, abort, credits) ride
+	// the same queue as data chunks. Exceeding window+slack means the
+	// peer is violating flow control and poisons the connection.
+	streamRecvSlack = 8
+)
+
+// chunkPool recycles stream chunk payload buffers (cf. the frame pool:
+// steady-state streaming allocates nothing per chunk).
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, DefaultStreamChunk)
+	return &b
+}}
+
+// GetChunk returns a length-n buffer, pooled when n fits the standard
+// chunk capacity. Pair with PutChunk.
+func GetChunk(n int) []byte {
+	if n <= DefaultStreamChunk {
+		bp := chunkPool.Get().(*[]byte)
+		return (*bp)[:n]
+	}
+	return make([]byte, n)
+}
+
+// PutChunk returns a GetChunk buffer to the pool. Oversized buffers are
+// dropped for the GC.
+func PutChunk(b []byte) {
+	if cap(b) != DefaultStreamChunk {
+		return
+	}
+	b = b[:DefaultStreamChunk]
+	chunkPool.Put(&b)
+}
+
+// NegotiateChunk picks the effective chunk size for one stream: the
+// requester's ask, falling back to the serving side's preference, falling
+// back to the default — always clamped to the protocol bounds.
+func NegotiateChunk(requested uint32, preferred int64) int {
+	c := int(requested)
+	if c == 0 {
+		if preferred > 0 {
+			c = int(preferred)
+		} else {
+			c = DefaultStreamChunk
+		}
+	}
+	if c < MinStreamChunk {
+		c = MinStreamChunk
+	}
+	if c > MaxStreamChunk {
+		c = MaxStreamChunk
+	}
+	return c
+}
+
+// ClampStreamWindow bounds a requested credit window (0 = default).
+func ClampStreamWindow(requested uint32) int {
+	w := int(requested)
+	if w == 0 {
+		w = DefaultStreamWindow
+	}
+	if w > MaxStreamWindow {
+		w = MaxStreamWindow
+	}
+	return w
+}
+
+// StreamOpenReq opens a stream. For reads Size is 0 (the node knows);
+// for writes it declares the exact byte count that will follow, so
+// placement and buffer-capacity decisions happen before data moves.
+// ChunkSize and Window are requests the serving side may clamp.
+type StreamOpenReq struct {
+	FileID    int64
+	Size      int64
+	ChunkSize uint32
+	Window    uint32
+}
+
+// Encode serializes the message body.
+func (m StreamOpenReq) Encode() []byte {
+	var e Encoder
+	return e.I64(m.FileID).I64(m.Size).U32(m.ChunkSize).U32(m.Window).Bytes()
+}
+
+// DecodeStreamOpenReq parses a StreamOpenReq payload.
+func DecodeStreamOpenReq(b []byte) (StreamOpenReq, error) {
+	d := NewDecoder(b)
+	m := StreamOpenReq{FileID: d.I64(), Size: d.I64(), ChunkSize: d.U32(), Window: d.U32()}
+	return m, d.Err()
+}
+
+// StreamOpenResp acknowledges a stream open with the negotiated
+// parameters. For reads it also carries the total size to follow and
+// whether the buffer disk serves it; for writes Window is the credit
+// grant the client sends data under.
+type StreamOpenResp struct {
+	FromBuffer bool
+	Size       int64
+	ChunkSize  uint32
+	Window     uint32
+}
+
+// Encode serializes the message body.
+func (m StreamOpenResp) Encode() []byte {
+	var e Encoder
+	return e.Bool(m.FromBuffer).I64(m.Size).U32(m.ChunkSize).U32(m.Window).Bytes()
+}
+
+// DecodeStreamOpenResp parses a StreamOpenResp payload.
+func DecodeStreamOpenResp(b []byte) (StreamOpenResp, error) {
+	d := NewDecoder(b)
+	m := StreamOpenResp{FromBuffer: d.Bool(), Size: d.I64(), ChunkSize: d.U32(), Window: d.U32()}
+	return m, d.Err()
+}
+
+// StreamEnd terminates a stream direction cleanly. The node's final
+// frame on a write stream carries Buffered (whether the write-buffer
+// area absorbed the content); everywhere else the flag is false.
+type StreamEnd struct{ Buffered bool }
+
+// Encode serializes the message body.
+func (m StreamEnd) Encode() []byte { var e Encoder; return e.Bool(m.Buffered).Bytes() }
+
+// DecodeStreamEnd parses a StreamEnd payload; an empty payload decodes
+// to the zero value so bare end frames stay legal.
+func DecodeStreamEnd(b []byte) (StreamEnd, error) {
+	if len(b) == 0 {
+		return StreamEnd{}, nil
+	}
+	d := NewDecoder(b)
+	m := StreamEnd{Buffered: d.Bool()}
+	return m, d.Err()
+}
+
+// StreamCredit replenishes N send credits on a stream.
+type StreamCredit struct{ N uint32 }
+
+// Encode serializes the message body.
+func (m StreamCredit) Encode() []byte { var e Encoder; return e.U32(m.N).Bytes() }
+
+// DecodeStreamCredit parses a StreamCredit payload.
+func DecodeStreamCredit(b []byte) (StreamCredit, error) {
+	d := NewDecoder(b)
+	m := StreamCredit{N: d.U32()}
+	return m, d.Err()
+}
+
+// errStreamClosed reports use of a stream after its owner closed it.
+var errStreamClosed = errors.New("proto: stream closed")
+
+// remoteStreamError turns an inbound TStreamAbort/TError payload into the
+// typed application error every RPC path already surfaces.
+func remoteStreamError(payload []byte) error {
+	em, derr := DecodeErrorMsg(payload)
+	if derr != nil {
+		return fmt.Errorf("proto: undecodable stream abort: %w", derr)
+	}
+	return &RemoteError{Code: em.Code, Msg: em.Msg, Redirect: em.Redirect}
+}
+
+// streamStallFactor scales a transport deadline into the per-frame
+// stall bound for an open stream. An RPC response is the only frame its
+// round trip waits on, but a stream chunk (or a flow-control credit, on
+// the sending side) legitimately queues behind other streams' data
+// frames and credit round trips on the shared multiplexed connection,
+// so the stall bound must budget for that interleaving — the bare
+// round-trip deadline misfires under concurrent streams on a slow link.
+const streamStallFactor = 8
+
+// StreamStallTimeout converts a single-round-trip deadline (RTTimeout on
+// the client, the write timeout on a serving node) into the bound a
+// stream applies between consecutive frames.
+func StreamStallTimeout(rt time.Duration) time.Duration {
+	return rt * streamStallFactor
+}
+
+// awaitStreamMsg blocks for the next inbound frame of one stream:
+// queued frames first, then the generation's death or the deadline. A
+// deadline expiry poisons the whole generation, exactly like an RPC
+// round-trip timeout — a stream frame that never arrived leaves every
+// in-flight id in doubt.
+func awaitStreamMsg(m *muxConn, st *muxStream, timeout time.Duration) (streamMsg, error) {
+	select {
+	case msg := <-st.recv:
+		return msg, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-st.recv:
+		return msg, nil
+	case <-st.done:
+		// Drain one more time: deliveries may have raced the poison.
+		select {
+		case msg := <-st.recv:
+			return msg, nil
+		default:
+		}
+		return streamMsg{}, st.fault()
+	case <-timer.C:
+		m.poison(errRTTimeout{})
+		return streamMsg{}, errRTTimeout{}
+	}
+}
+
+// ReadStream is the client side of one open read stream: an
+// io.ReadCloser pulling pooled chunks off the multiplexed connection,
+// replenishing flow-control credits as it consumes them.
+type ReadStream struct {
+	ep *Endpoint
+	m  *muxConn
+	st *muxStream
+
+	resp    StreamOpenResp
+	timeout time.Duration
+	window  int
+
+	cur     []byte // current pooled chunk (nil between chunks)
+	curOff  int
+	owed    int // consumed chunks not yet credited back to the sender
+	err     error
+	closed  bool
+	settled bool // terminal frame consumed; stream already deregistered
+}
+
+// FromBuffer reports whether the node serves this stream from its buffer
+// disk.
+func (s *ReadStream) FromBuffer() bool { return s.resp.FromBuffer }
+
+// Size returns the total byte count the stream will deliver.
+func (s *ReadStream) Size() int64 { return s.resp.Size }
+
+// transportErr wraps a generation-level fault the way Call does, so
+// errors.As(err, **TransportError) works identically for streams.
+func (s *ReadStream) transportErr(err error) error {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	s.ep.met.transportEs.Inc()
+	return &TransportError{Addr: s.ep.addr, Attempts: 1, Err: err}
+}
+
+// Read implements io.Reader. Mid-stream faults are never retried — a
+// partially consumed stream cannot be transparently replayed — and
+// surface typed: *RemoteError for peer aborts, *TransportError for
+// connection faults.
+func (s *ReadStream) Read(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for s.cur == nil || s.curOff >= len(s.cur) {
+		if s.cur != nil {
+			PutChunk(s.cur)
+			s.cur, s.curOff = nil, 0
+			s.owed++
+			if s.owed >= s.window/2 || s.owed >= s.window {
+				if err := s.m.send(wireFrame{t: TStreamCredit, id: s.st.id,
+					payload: StreamCredit{N: uint32(s.owed)}.Encode()}); err != nil {
+					s.err = s.transportErr(err)
+					return 0, s.err
+				}
+				s.owed = 0
+			}
+		}
+		msg, err := awaitStreamMsg(s.m, s.st, s.timeout)
+		if err != nil {
+			s.err = s.transportErr(err)
+			return 0, s.err
+		}
+		switch msg.t {
+		case TDataFrame:
+			s.cur, s.curOff = msg.payload, 0
+			s.ep.met.streamChunks.Inc()
+			s.ep.met.streamBytes.Add(int64(len(msg.payload)))
+		case TStreamEnd:
+			s.settle()
+			s.err = io.EOF
+			return 0, io.EOF
+		case TStreamAbort, TError:
+			s.settle()
+			s.err = remoteStreamError(msg.payload)
+			return 0, s.err
+		default:
+			err := fmt.Errorf("proto: unexpected frame type %d on read stream", msg.t)
+			s.m.poison(err)
+			s.err = s.transportErr(err)
+			return 0, s.err
+		}
+	}
+	n := copy(p, s.cur[s.curOff:])
+	s.curOff += n
+	return n, nil
+}
+
+// settle deregisters the stream after its terminal frame.
+func (s *ReadStream) settle() {
+	s.settled = true
+	s.m.removeStream(s.st)
+}
+
+// Close releases the stream. Closing before the terminal frame aborts
+// the transfer upstream: the node stops sending, and any chunks already
+// in flight are discarded without disturbing other streams or round
+// trips on the connection.
+func (s *ReadStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.cur != nil {
+		PutChunk(s.cur)
+		s.cur = nil
+	}
+	if !s.settled && s.err == nil {
+		// Early close: discard the remainder and tell the node to stop.
+		// The stream stays registered in discard mode until the node's
+		// terminal frame (or the generation's death) retires the id.
+		s.st.setDiscard()
+		_ = s.m.send(wireFrame{t: TStreamAbort, id: s.st.id,
+			payload: ErrorMsg{Msg: "stream closed by reader"}.Encode()})
+		s.err = errStreamClosed
+	} else if !s.settled {
+		// Faulted without a terminal frame: the generation poisoned, so
+		// the id died with it.
+		s.m.removeStream(s.st)
+	}
+	if s.err == nil {
+		s.err = errStreamClosed
+	}
+	return nil
+}
+
+// WriteStream is the client side of one open write stream: an
+// io.WriteCloser pushing pooled chunks under the node-granted credit
+// window. Close sends the end-of-stream marker and waits for the node's
+// final acknowledgement.
+type WriteStream struct {
+	ep *Endpoint
+	m  *muxConn
+	st *muxStream
+
+	timeout time.Duration
+	chunk   int
+	credits int
+
+	buffered bool
+	err      error
+	closed   bool
+	settled  bool
+}
+
+// Write implements io.Writer: the bytes are chunked, copied into pooled
+// buffers (the writer goroutine sends them asynchronously), and sent
+// within the credit window.
+func (s *WriteStream) Write(p []byte) (int, error) {
+	if s.closed {
+		return 0, errStreamClosed
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	total := 0
+	for len(p) > 0 {
+		if err := s.waitCredit(); err != nil {
+			s.err = err
+			return total, err
+		}
+		n := len(p)
+		if n > s.chunk {
+			n = s.chunk
+		}
+		buf := GetChunk(n)
+		copy(buf, p[:n])
+		if err := s.m.send(wireFrame{t: TDataFrame, id: s.st.id, payload: buf, pooled: true}); err != nil {
+			PutChunk(buf)
+			s.err = s.transportErr(err)
+			return total, s.err
+		}
+		s.credits--
+		p = p[n:]
+		total += n
+		s.ep.met.streamChunks.Inc()
+		s.ep.met.streamBytes.Add(int64(n))
+	}
+	return total, nil
+}
+
+func (s *WriteStream) transportErr(err error) error {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	s.ep.met.transportEs.Inc()
+	return &TransportError{Addr: s.ep.addr, Attempts: 1, Err: err}
+}
+
+// waitCredit consumes inbound control frames until a send credit is
+// available. A peer abort or connection fault surfaces typed.
+func (s *WriteStream) waitCredit() error {
+	for s.credits <= 0 {
+		msg, err := awaitStreamMsg(s.m, s.st, s.timeout)
+		if err != nil {
+			return s.transportErr(err)
+		}
+		switch msg.t {
+		case TStreamCredit:
+			c, derr := DecodeStreamCredit(msg.payload)
+			if derr != nil {
+				s.m.poison(derr)
+				return s.transportErr(derr)
+			}
+			s.credits += int(c.N)
+		case TStreamAbort, TError:
+			s.settle()
+			return remoteStreamError(msg.payload)
+		default:
+			err := fmt.Errorf("proto: unexpected frame type %d on write stream", msg.t)
+			s.m.poison(err)
+			return s.transportErr(err)
+		}
+	}
+	return nil
+}
+
+func (s *WriteStream) settle() {
+	s.settled = true
+	s.m.removeStream(s.st)
+}
+
+// Buffered reports whether the node's write-buffer area absorbed the
+// streamed content. Valid after a successful Close.
+func (s *WriteStream) Buffered() bool { return s.buffered }
+
+// Close sends the end-of-stream marker and waits for the node's final
+// acknowledgement (TStreamEnd carrying the buffered flag). Closing a
+// stream that already failed just releases it.
+func (s *WriteStream) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err != nil {
+		if !s.settled {
+			s.st.setDiscard()
+			_ = s.m.send(wireFrame{t: TStreamAbort, id: s.st.id,
+				payload: ErrorMsg{Msg: "stream closed by writer"}.Encode()})
+		}
+		return s.err
+	}
+	if err := s.m.send(wireFrame{t: TStreamEnd, id: s.st.id, payload: StreamEnd{}.Encode()}); err != nil {
+		s.err = s.transportErr(err)
+		return s.err
+	}
+	for {
+		msg, err := awaitStreamMsg(s.m, s.st, s.timeout)
+		if err != nil {
+			s.err = s.transportErr(err)
+			return s.err
+		}
+		switch msg.t {
+		case TStreamCredit:
+			// Late replenishment racing our end marker; ignore.
+		case TStreamEnd:
+			end, derr := DecodeStreamEnd(msg.payload)
+			if derr != nil {
+				s.m.poison(derr)
+				s.err = s.transportErr(derr)
+				return s.err
+			}
+			s.buffered = end.Buffered
+			s.settle()
+			return nil
+		case TStreamAbort, TError:
+			s.settle()
+			s.err = remoteStreamError(msg.payload)
+			return s.err
+		default:
+			err := fmt.Errorf("proto: unexpected frame type %d closing write stream", msg.t)
+			s.m.poison(err)
+			s.err = s.transportErr(err)
+			return s.err
+		}
+	}
+}
+
+// openStream dials (or reuses) a connection generation, registers a
+// stream id, sends the open frame, and waits for the peer's verdict.
+// Opens are side-effect-free until data flows, so transport faults are
+// retried exactly like Call; a *RemoteError rejection is final.
+func (e *Endpoint) openStream(t Type, req StreamOpenReq, window int, sc telemetry.SpanContext) (*muxConn, *muxStream, StreamOpenResp, error) {
+	e.met.calls.Inc()
+	var last error
+	attempts := 0
+	for attempt := 0; attempt <= e.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			e.met.retries.Inc()
+			time.Sleep(e.backoff(attempt))
+		}
+		attempts++
+		m, err := e.conn()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				e.met.transportEs.Inc()
+				return nil, nil, StreamOpenResp{}, &TransportError{Addr: e.addr, Attempts: attempts, Err: err}
+			}
+			last = err
+			continue
+		}
+		st, err := m.registerStream(window)
+		if err != nil {
+			e.dropConn(m)
+			last = err
+			continue
+		}
+		ft, payload := AttachContext(t, req.Encode(), sc)
+		if err := m.send(wireFrame{t: ft, id: st.id, payload: payload}); err != nil {
+			e.dropConn(m)
+			last = err
+			continue
+		}
+		// The open response queues behind other streams' data frames on
+		// the shared connection, so it gets the stall bound, not the
+		// bare RPC deadline — a premature timeout here poisons the
+		// generation and takes healthy streams down with it.
+		msg, err := awaitStreamMsg(m, st, StreamStallTimeout(e.cfg.RTTimeout))
+		if err != nil {
+			e.dropConn(m)
+			last = err
+			continue
+		}
+		switch msg.t {
+		case TStreamOpenResp:
+			resp, derr := DecodeStreamOpenResp(msg.payload)
+			if derr != nil {
+				m.poison(derr)
+				e.dropConn(m)
+				last = derr
+				continue
+			}
+			e.met.streamOpens.Inc()
+			return m, st, resp, nil
+		case TError, TStreamAbort:
+			m.removeStream(st)
+			rerr := remoteStreamError(msg.payload)
+			var re *RemoteError
+			if errors.As(rerr, &re) {
+				e.met.remoteEs.Inc()
+				e.met.reg.Counter("proto.rt.errors.remote." + re.Code.String()).Inc()
+				return nil, nil, StreamOpenResp{}, rerr
+			}
+			m.poison(rerr)
+			e.dropConn(m)
+			last = rerr
+		default:
+			err := fmt.Errorf("proto: unexpected frame type %d answering stream open", msg.t)
+			m.poison(err)
+			e.dropConn(m)
+			last = err
+		}
+	}
+	terr := &TransportError{Addr: e.addr, Attempts: attempts, Err: last}
+	e.met.transportEs.Inc()
+	if terr.Timeout() {
+		e.met.timeouts.Inc()
+	}
+	return nil, nil, StreamOpenResp{}, terr
+}
+
+// OpenReadStream opens a chunked read stream for req.FileID. The
+// returned ReadStream delivers exactly resp.Size bytes (see Size) or a
+// typed error; the caller must Close it.
+func (e *Endpoint) OpenReadStream(req StreamOpenReq, sc telemetry.SpanContext) (*ReadStream, error) {
+	window := ClampStreamWindow(req.Window)
+	req.Window = uint32(window)
+	req.Size = 0
+	m, st, resp, err := e.openStream(TStreamReadReq, req, window, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &ReadStream{
+		ep: e, m: m, st: st,
+		resp:    resp,
+		timeout: StreamStallTimeout(e.cfg.RTTimeout),
+		window:  window,
+	}, nil
+}
+
+// OpenWriteStream opens a chunked write stream that will carry exactly
+// req.Size bytes to req.FileID. The node's grant (chunk size and credit
+// window) governs the returned WriteStream; the caller must Close it to
+// commit the write.
+func (e *Endpoint) OpenWriteStream(req StreamOpenReq, sc telemetry.SpanContext) (*WriteStream, error) {
+	window := ClampStreamWindow(req.Window)
+	req.Window = uint32(window)
+	m, st, resp, err := e.openStream(TStreamWriteReq, req, window, sc)
+	if err != nil {
+		return nil, err
+	}
+	chunk := NegotiateChunk(resp.ChunkSize, 0)
+	credits := int(resp.Window)
+	if credits <= 0 {
+		credits = DefaultStreamWindow
+	}
+	return &WriteStream{
+		ep: e, m: m, st: st,
+		timeout: StreamStallTimeout(e.cfg.RTTimeout),
+		chunk:   chunk,
+		credits: credits,
+	}, nil
+}

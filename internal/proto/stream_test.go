@@ -1,0 +1,393 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"eevfs/internal/telemetry"
+)
+
+// streamTestServer is a minimal raw-frame v2 peer for stream tests: it
+// accepts one connection, consumes the preface, and hands each inbound
+// frame to script. Writes from script go straight to the socket.
+func streamTestServer(t *testing.T, script func(conn net.Conn, ty Type, id uint32, payload []byte) bool) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var preface [4]byte
+		if _, err := io.ReadFull(conn, preface[:]); err != nil {
+			return
+		}
+		for {
+			ty, id, payload, err := ReadFrameID(conn)
+			if err != nil {
+				return
+			}
+			if !script(conn, ty, id, payload) {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func testTransport() TransportConfig {
+	return TransportConfig{
+		DialTimeout: time.Second,
+		RTTimeout:   2 * time.Second,
+		Retries:     -1,
+	}
+}
+
+// TestReadStreamDelivery runs one complete streamed read: open, chunked
+// data within the credit window, clean end — and checks the reassembled
+// bytes, the stream metadata, and that the stream id is retired.
+func TestReadStreamDelivery(t *testing.T) {
+	content := bytes.Repeat([]byte("stream-me!"), 2000) // 20 KB
+	const chunk = 1024
+	addr := streamTestServer(t, func(conn net.Conn, ty Type, id uint32, payload []byte) bool {
+		if ty == TStreamCredit {
+			return true // replenishment racing past the inline loop below
+		}
+		if ty != TStreamReadReq {
+			t.Errorf("server got frame type %d", ty)
+			return false
+		}
+		req, err := DecodeStreamOpenReq(payload)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		resp := StreamOpenResp{FromBuffer: true, Size: int64(len(content)),
+			ChunkSize: chunk, Window: req.Window}
+		if err := WriteFrameID(conn, TStreamOpenResp, id, resp.Encode()); err != nil {
+			return false
+		}
+		// Window accounting is ignored here: the client's queue holds the
+		// full window and it never stops reading, so a fast push is fine
+		// for content this small relative to window*chunk... it is not —
+		// 20 chunks > default window 8. Respect the window: send
+		// window chunks, then consume credits as they arrive.
+		credits := int(req.Window)
+		for off := 0; off < len(content); {
+			for credits == 0 {
+				ct, _, cp, err := ReadFrameID(conn)
+				if err != nil {
+					return false
+				}
+				if ct != TStreamCredit {
+					t.Errorf("server got %d while awaiting credit", ct)
+					return false
+				}
+				c, err := DecodeStreamCredit(cp)
+				if err != nil {
+					t.Error(err)
+					return false
+				}
+				credits += int(c.N)
+			}
+			end := off + chunk
+			if end > len(content) {
+				end = len(content)
+			}
+			if err := WriteFrameID(conn, TDataFrame, id, content[off:end]); err != nil {
+				return false
+			}
+			off = end
+			credits--
+		}
+		if err := WriteFrameID(conn, TStreamEnd, id, StreamEnd{}.Encode()); err != nil {
+			return false
+		}
+		return true
+	})
+
+	ep := NewEndpoint(addr, nil, testTransport())
+	defer ep.Close()
+	rs, err := ep.OpenReadStream(StreamOpenReq{FileID: 7}, telemetry.SpanContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.FromBuffer() || rs.Size() != int64(len(content)) {
+		t.Fatalf("FromBuffer=%v Size=%d", rs.FromBuffer(), rs.Size())
+	}
+	got, err := io.ReadAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: got %d bytes", len(got))
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs.m.mu.Lock()
+	open := len(rs.m.streams)
+	rs.m.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("%d stream ids still registered after a settled read", open)
+	}
+}
+
+// TestReadStreamAbortTyped pins that a peer abort mid-stream surfaces as
+// a typed *RemoteError and leaves the connection generation healthy.
+func TestReadStreamAbortTyped(t *testing.T) {
+	addr := streamTestServer(t, func(conn net.Conn, ty Type, id uint32, payload []byte) bool {
+		switch ty {
+		case TStreamReadReq:
+			resp := StreamOpenResp{Size: 4096, ChunkSize: 1024, Window: 8}
+			if err := WriteFrameID(conn, TStreamOpenResp, id, resp.Encode()); err != nil {
+				return false
+			}
+			if err := WriteFrameID(conn, TDataFrame, id, make([]byte, 1024)); err != nil {
+				return false
+			}
+			em := ErrorMsg{Code: CodeNotFound, Msg: "disk ate the file"}
+			if err := WriteFrameID(conn, TStreamAbort, id, em.Encode()); err != nil {
+				return false
+			}
+			return true
+		case TListReq:
+			return WriteFrameID(conn, TListResp, id, ListResp{}.Encode()) == nil
+		}
+		t.Errorf("server got frame type %d", ty)
+		return false
+	})
+
+	ep := NewEndpoint(addr, nil, testTransport())
+	defer ep.Close()
+	rs, err := ep.OpenReadStream(StreamOpenReq{FileID: 1}, telemetry.SpanContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(rs)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeNotFound {
+		t.Fatalf("err = %v, want *RemoteError{CodeNotFound}", err)
+	}
+	rs.Close()
+	// The abort was stream-scoped: a plain round trip on the same
+	// connection generation must still work.
+	if _, _, err := ep.Call(TListReq, nil); err != nil {
+		t.Fatalf("round trip after stream abort: %v", err)
+	}
+}
+
+// TestStreamOpenRejectedTyped pins the open-time rejection path: a
+// TError answer to the open frame is a final *RemoteError, not a retried
+// transport fault.
+func TestStreamOpenRejectedTyped(t *testing.T) {
+	var opens int
+	var mu sync.Mutex
+	addr := streamTestServer(t, func(conn net.Conn, ty Type, id uint32, payload []byte) bool {
+		mu.Lock()
+		opens++
+		mu.Unlock()
+		em := ErrorMsg{Code: CodeGeneric, Msg: "no streams here"}
+		return WriteFrameID(conn, TError, id, em.Encode()) == nil
+	})
+	cfg := testTransport()
+	cfg.Retries = 3
+	ep := NewEndpoint(addr, nil, cfg)
+	defer ep.Close()
+	_, err := ep.OpenReadStream(StreamOpenReq{FileID: 1}, telemetry.SpanContext{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeGeneric {
+		t.Fatalf("err = %v, want *RemoteError{CodeGeneric}", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if opens != 1 {
+		t.Fatalf("remote rejection was retried: %d opens", opens)
+	}
+}
+
+// TestPoisonFailsAllStreams pins the extended all-or-nothing rule: a
+// connection-generation fault fails every open stream (and pending round
+// trip) with the same typed error.
+func TestPoisonFailsAllStreams(t *testing.T) {
+	release := make(chan struct{})
+	addr := streamTestServer(t, func(conn net.Conn, ty Type, id uint32, payload []byte) bool {
+		resp := StreamOpenResp{Size: 1 << 20, ChunkSize: 1024, Window: 8}
+		if err := WriteFrameID(conn, TStreamOpenResp, id, resp.Encode()); err != nil {
+			return false
+		}
+		if id == 2 { // second open: hang, then die
+			<-release
+			return false // server closes the socket
+		}
+		return true
+	})
+
+	ep := NewEndpoint(addr, nil, testTransport())
+	defer ep.Close()
+	rs1, err := ep.OpenReadStream(StreamOpenReq{FileID: 1}, telemetry.SpanContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := ep.OpenReadStream(StreamOpenReq{FileID: 2}, telemetry.SpanContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release) // server closes; both streams must fail typed
+
+	for i, rs := range []*ReadStream{rs1, rs2} {
+		_, err := io.ReadAll(rs)
+		var te *TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("stream %d err = %v, want *TransportError", i+1, err)
+		}
+		rs.Close()
+	}
+}
+
+// TestWriteStreamRoundTrip runs one complete streamed write against a
+// scripted peer that verifies chunking stays inside the granted window.
+func TestWriteStreamRoundTrip(t *testing.T) {
+	content := bytes.Repeat([]byte("write-path"), 5000) // 50 KB
+	const window = 4
+	var mu sync.Mutex
+	var received []byte
+	addr := streamTestServer(t, func(conn net.Conn, ty Type, id uint32, payload []byte) bool {
+		switch ty {
+		case TStreamWriteReq:
+			req, err := DecodeStreamOpenReq(payload)
+			if err != nil || req.Size != int64(len(content)) {
+				t.Errorf("open: err=%v size=%d", err, req.Size)
+				return false
+			}
+			resp := StreamOpenResp{Size: req.Size, ChunkSize: 2048, Window: window}
+			return WriteFrameID(conn, TStreamOpenResp, id, resp.Encode()) == nil
+		case TDataFrame:
+			mu.Lock()
+			received = append(received, payload...)
+			n := len(received)
+			mu.Unlock()
+			if len(payload) > 2048 {
+				t.Errorf("chunk of %d bytes exceeds granted size", len(payload))
+				return false
+			}
+			// Replenish one credit per chunk consumed.
+			if err := WriteFrameID(conn, TStreamCredit, id, StreamCredit{N: 1}.Encode()); err != nil {
+				return false
+			}
+			_ = n
+			return true
+		case TStreamEnd:
+			mu.Lock()
+			ok := bytes.Equal(received, content)
+			mu.Unlock()
+			if !ok {
+				t.Error("server received wrong bytes")
+				return false
+			}
+			return WriteFrameID(conn, TStreamEnd, id, StreamEnd{Buffered: true}.Encode()) == nil
+		}
+		t.Errorf("server got frame type %d", ty)
+		return false
+	})
+
+	ep := NewEndpoint(addr, nil, testTransport())
+	defer ep.Close()
+	ws, err := ep.OpenWriteStream(StreamOpenReq{FileID: 3, Size: int64(len(content)), Window: window},
+		telemetry.SpanContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(ws, bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Buffered() {
+		t.Fatal("Buffered() = false, want true from the server's end frame")
+	}
+}
+
+// TestStreamChunkPool pins the pooled-buffer contract: standard-size
+// chunks round-trip through the pool, oversized ones fall to the GC.
+func TestStreamChunkPool(t *testing.T) {
+	b := GetChunk(1024)
+	if len(b) != 1024 || cap(b) != DefaultStreamChunk {
+		t.Fatalf("len=%d cap=%d", len(b), cap(b))
+	}
+	PutChunk(b)
+	big := GetChunk(DefaultStreamChunk + 1)
+	if len(big) != DefaultStreamChunk+1 {
+		t.Fatalf("len=%d", len(big))
+	}
+	PutChunk(big) // must not poison the pool
+	again := GetChunk(64)
+	if cap(again) != DefaultStreamChunk {
+		t.Fatalf("pool returned cap %d", cap(again))
+	}
+	PutChunk(again)
+}
+
+// TestNegotiateChunkClamps pins the chunk/window negotiation bounds.
+func TestNegotiateChunkClamps(t *testing.T) {
+	cases := []struct {
+		req  uint32
+		pref int64
+		want int
+	}{
+		{0, 0, DefaultStreamChunk},
+		{0, 8192, 8192},
+		{100, 0, MinStreamChunk},
+		{1 << 30, 0, MaxStreamChunk},
+		{4096, 8192, 4096},
+	}
+	for _, c := range cases {
+		if got := NegotiateChunk(c.req, c.pref); got != c.want {
+			t.Errorf("NegotiateChunk(%d,%d) = %d, want %d", c.req, c.pref, got, c.want)
+		}
+	}
+	if got := ClampStreamWindow(0); got != DefaultStreamWindow {
+		t.Errorf("ClampStreamWindow(0) = %d", got)
+	}
+	if got := ClampStreamWindow(1 << 20); got != MaxStreamWindow {
+		t.Errorf("ClampStreamWindow(big) = %d", got)
+	}
+}
+
+// TestStreamMessagesRoundTrip covers the stream codecs, including the
+// empty-payload StreamEnd form.
+func TestStreamMessagesRoundTrip(t *testing.T) {
+	o := StreamOpenReq{FileID: 9, Size: 1 << 30, ChunkSize: 4096, Window: 16}
+	if got, err := DecodeStreamOpenReq(o.Encode()); err != nil || got != o {
+		t.Fatalf("open req: %+v err=%v", got, err)
+	}
+	r := StreamOpenResp{FromBuffer: true, Size: 123, ChunkSize: 512, Window: 2}
+	if got, err := DecodeStreamOpenResp(r.Encode()); err != nil || got != r {
+		t.Fatalf("open resp: %+v err=%v", got, err)
+	}
+	e := StreamEnd{Buffered: true}
+	if got, err := DecodeStreamEnd(e.Encode()); err != nil || got != e {
+		t.Fatalf("end: %+v err=%v", got, err)
+	}
+	if got, err := DecodeStreamEnd(nil); err != nil || got.Buffered {
+		t.Fatalf("empty end: %+v err=%v", got, err)
+	}
+	c := StreamCredit{N: 42}
+	if got, err := DecodeStreamCredit(c.Encode()); err != nil || got != c {
+		t.Fatalf("credit: %+v err=%v", got, err)
+	}
+	if _, err := DecodeStreamOpenReq([]byte{1, 2}); err == nil {
+		t.Fatal("truncated open req decoded")
+	}
+}

@@ -134,6 +134,10 @@ type epMetrics struct {
 	latency     *telemetry.Histogram
 	inflight    *telemetry.Gauge
 	queueDepth  *telemetry.Histogram
+
+	streamOpens  *telemetry.Counter
+	streamBytes  *telemetry.Counter
+	streamChunks *telemetry.Counter
 }
 
 func newEpMetrics(reg *telemetry.Registry) epMetrics {
@@ -147,6 +151,10 @@ func newEpMetrics(reg *telemetry.Registry) epMetrics {
 		latency:     reg.Histogram("proto.rt.seconds", nil),
 		inflight:    reg.Gauge("proto.inflight"),
 		queueDepth:  reg.Histogram("proto.queue.depth", nil),
+
+		streamOpens:  reg.Counter("proto.stream.opens"),
+		streamBytes:  reg.Counter("proto.stream.bytes"),
+		streamChunks: reg.Counter("proto.stream.chunks"),
 	}
 }
 
@@ -279,7 +287,16 @@ func (e *Endpoint) Call(t Type, payload []byte) (Type, []byte, error) {
 			last = err
 			continue
 		}
-		rt, rp, err := m.roundTrip(t, payload, e.cfg.RTTimeout)
+		// On a generation carrying open streams the response legitimately
+		// queues behind their bulk data frames, so the round trip gets the
+		// stream stall bound instead of the bare deadline: a premature
+		// timeout here poisons the generation and takes every healthy
+		// stream down with it.
+		timeout := e.cfg.RTTimeout
+		if m.hasStreams() {
+			timeout = StreamStallTimeout(timeout)
+		}
+		rt, rp, err := m.roundTrip(t, payload, timeout)
 		if err == nil {
 			e.met.latency.Observe(time.Since(start).Seconds())
 			return rt, rp, nil

@@ -289,6 +289,15 @@ func CheckLive(s LiveScenario, tmpDir string) *LiveFailure {
 		return err
 	}
 
+	// Phase 1c: stream-content-integrity oracle. The same files pulled
+	// concurrently through the chunked streaming data plane — data
+	// frames for different streams interleave on the shared
+	// connections, so a chunk demuxed to the wrong stream id shows up
+	// as a cross-file content swap here.
+	if err := checkStreamIntegrity(cl, names, acceptable); err != nil {
+		return err
+	}
+
 	// Phase 2: randomized reads/writes, with an optional mid-run node
 	// crash and — in a replicated group — an optional primary kill.
 	// While a node or the primary is down, operations may fail — but
@@ -469,6 +478,65 @@ func checkCorrelation(cl *fs.Client, names []string, acceptable map[string][][]b
 				}
 			}
 		}(name)
+	}
+	wg.Wait()
+	close(errCh)
+	for f := range errCh {
+		return f
+	}
+	return nil
+}
+
+// checkStreamIntegrity streams every file from several goroutines at
+// once — small chunk sizes force heavy data-frame interleaving on the
+// shared connections — and verifies each stream reassembled its own
+// file's exact bytes, while plain RPC reads run alongside on the same
+// sockets. Run only while the cluster is healthy, so any error is a
+// violation.
+func checkStreamIntegrity(cl *fs.Client, names []string, acceptable map[string][][]byte) *LiveFailure {
+	const rounds = 2
+	errCh := make(chan *LiveFailure, 2*len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			// Vary the chunk schedule per file so frame boundaries differ
+			// across the interleaved streams.
+			opts := fs.StreamOptions{ChunkBytes: 512 << (i % 4), Window: 1 + i%4}
+			for r := 0; r < rounds; r++ {
+				rd, err := cl.OpenRead(name, opts)
+				if err != nil {
+					errCh <- liveFail("stream", "open stream %s on healthy cluster: %v", name, err)
+					return
+				}
+				data, err := io.ReadAll(rd)
+				rd.Close()
+				if err != nil {
+					errCh <- liveFail("stream", "stream %s on healthy cluster: %v", name, err)
+					return
+				}
+				if !bytes.Equal(data, acceptable[name][0]) {
+					errCh <- liveFail("stream", "stream %s reassembled %d bytes of someone else's content (crossed stream ids)", name, len(data))
+					return
+				}
+			}
+		}(i, name)
+		// Interleave RPC traffic on the same multiplexed connections.
+		if i%2 == 0 {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				data, _, err := cl.Read(name)
+				if err != nil {
+					errCh <- liveFail("stream", "rpc read %s beside streams: %v", name, err)
+					return
+				}
+				if !bytes.Equal(data, acceptable[name][0]) {
+					errCh <- liveFail("stream", "rpc read %s beside streams returned crossed content", name)
+				}
+			}(name)
+		}
 	}
 	wg.Wait()
 	close(errCh)

@@ -22,6 +22,9 @@ func TestAdminConcurrentLoad(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("proto.calls").Add(1)
 	reg.Histogram("fs.op.read.seconds", nil).Observe(0.01)
+	jour := &Journal{}
+	jour.BindRegistry(reg)
+	jour.SetLimit(4)
 	tracer := NewTracer(TracerConfig{Capacity: 256})
 	energy := NewEnergyLedger(64)
 	a, err := StartAdminConfig("127.0.0.1:0", AdminConfig{
@@ -57,6 +60,9 @@ func TestAdminConcurrentLoad(t *testing.T) {
 				ch.Finish()
 				sp.AddEnergy(0.5)
 				sp.Finish()
+				// Overflow the capped journal so the eviction counter is
+				// live while scrapers read it.
+				jour.Append(Event{Kind: KindService, Subject: "disk0", TimeS: float64(i)})
 				energy.Attribute(uint64(w*rounds+i+1), fmt.Sprintf("file:%d", i), "data.Active", 1.5)
 				reg.Counter("proto.calls").Inc()
 				reg.Histogram("fs.op.read.seconds", nil).Observe(0.002)
@@ -104,6 +110,13 @@ func checkAdminBody(path string, body []byte) error {
 	case path == "/metrics.prom":
 		if !strings.Contains(string(body), "# TYPE proto_calls counter") {
 			return fmt.Errorf("missing counter TYPE line")
+		}
+		// The journal ring-cap eviction counter must be scrapeable — a
+		// capped journal that drops events invisibly is a silent data
+		// loss (this line was missing until the journal learned
+		// BindRegistry).
+		if !strings.Contains(string(body), "# TYPE journal_evicted counter") {
+			return fmt.Errorf("missing journal_evicted TYPE line")
 		}
 		return nil
 	case path == "/traces":

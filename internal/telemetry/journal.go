@@ -91,6 +91,16 @@ func (j *Journal) SetEvictionCounter(c *Counter) {
 	j.mu.Unlock()
 }
 
+// BindRegistry surfaces the ring-cap eviction count as the registry's
+// journal.evicted counter, so a capped journal's drops show up in
+// /metrics and /metrics.prom instead of vanishing silently.
+func (j *Journal) BindRegistry(reg *Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	j.SetEvictionCounter(reg.Counter("journal.evicted"))
+}
+
 // Evicted returns how many events have been dropped by the ring cap.
 func (j *Journal) Evicted() int64 {
 	if j == nil {
