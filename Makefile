@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-stream bench-compare cover soak soak-failover
+.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-stream bench-compare cover soak soak-failover soak-drift
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,14 @@ soak:
 # a one-line repro.
 soak-failover:
 	$(GO) run -race ./cmd/eevfssim -seed $(SOAK_SEED) -live-failover 200
+
+# The adaptive-vs-NPF oracle battery (DESIGN.md §20): 200 seeded
+# scenarios, every one steered into the online adaptive arm on a
+# drifting workload, under the race detector. The dominance and
+# transition-budget oracles judge each run; failures shrink to a
+# one-line repro.
+soak-drift:
+	$(GO) run -race ./cmd/eevfssim -seed $(SOAK_SEED) -drift 200
 
 # The full pre-merge gate: vet + build + the whole suite under the race
 # detector (the chaos tests in internal/fs exercise real concurrency).

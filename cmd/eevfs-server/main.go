@@ -43,6 +43,10 @@ func main() {
 			"this server's index in -peers (index 0 boots as primary on a cold start)")
 		mirrorPrefetch = flag.Bool("mirror-prefetch", false,
 			"copy each prefetched file to a second node's buffer disk so reads survive the owner's death")
+		policy = flag.String("policy", "static",
+			"prefetch policy: static (prefetch only when a client commands it) or adaptive (re-prefetch automatically when the hot set drifts)")
+		adaptiveK = flag.Int("adaptive-k", 0,
+			"max files per adaptive re-prefetch (0 = default 32; a client prefetch's K takes over afterwards)")
 		traceSample = flag.Float64("trace-sample", 0,
 			"fraction of traces recorded in full (0 = tracing disabled, 1 = everything); errored and slow spans are always kept")
 		traceBuffer = flag.Int("trace-buffer", 0,
@@ -97,6 +101,8 @@ func main() {
 		Peers:          peerAddrs,
 		Self:           *self,
 		MirrorPrefetch: *mirrorPrefetch,
+		Policy:         *policy,
+		AdaptiveK:      *adaptiveK,
 		Tracer:         tracer,
 		Transport: proto.TransportConfig{
 			DialTimeout: *dialTimeout,

@@ -11,6 +11,7 @@
 //	eevfssim -repro='live,v1,seed=3'   # replay one live TCP-stack scenario
 //	eevfssim -live=20                  # every 20th iteration: real TCP stack
 //	eevfssim -live-failover=200        # N kill-the-primary failover scenarios
+//	eevfssim -drift=200                # N adaptive-vs-NPF drift scenarios
 //
 // Exit status is 0 when every scenario upholds every oracle, 1 on any
 // failure, 2 on usage errors.
@@ -33,6 +34,7 @@ func main() {
 		repro    = flag.String("repro", "", "replay one encoded scenario (from a previous failure) and exit")
 		live     = flag.Int("live", 0, "every N-th iteration, also run a live TCP-stack scenario (0 = never)")
 		failover = flag.Int("live-failover", 0, "run N live scenarios with a replicated server group and a forced primary kill, then exit (0 = disabled)")
+		drift    = flag.Int("drift", 0, "run N adaptive-arm drift scenarios (every one exercises the adaptive oracles), then exit (0 = disabled)")
 		out      = flag.String("out", "", "append failing repro commands to this file")
 		verbose  = flag.Bool("v", false, "log every scenario, not just failures")
 	)
@@ -55,6 +57,9 @@ func main() {
 
 	if *failover > 0 {
 		os.Exit(failoverBattery(*seed, *failover, *verbose, outFile))
+	}
+	if *drift > 0 {
+		os.Exit(driftBattery(*seed, *drift, *verbose, outFile))
 	}
 
 	// The soak loop itself may use wall time (-duration is an operator
@@ -177,6 +182,31 @@ func failoverBattery(seed uint64, n int, verbose bool, outFile *os.File) int {
 		}
 	}
 	fmt.Printf("eevfssim: %d failover scenarios, %d failures, %s\n", n, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// driftBattery runs n adaptive-arm drift scenarios: every iteration puts
+// the online policy on a drifting workload and holds it to the
+// adaptive-dominates-npf and transition-budget oracles (plus the whole
+// base catalogue), instead of the ~quarter of the general soak space
+// that lands on the adaptive branch.
+func driftBattery(seed uint64, n int, verbose bool, outFile *os.File) int {
+	failures := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s := simtest.GenerateDrift(seed + uint64(i))
+		if verbose {
+			fmt.Printf("drift seed=%d %s\n", s.Seed, s.Encode())
+		}
+		if f := simtest.Check(s); f != nil {
+			failures++
+			report(s, f, outFile)
+		}
+	}
+	fmt.Printf("eevfssim: %d drift scenarios, %d failures, %s\n", n, failures, time.Since(start).Round(time.Millisecond))
 	if failures > 0 {
 		return 1
 	}

@@ -29,6 +29,7 @@
 package eevfs
 
 import (
+	"eevfs/internal/adaptive"
 	"eevfs/internal/baseline"
 	"eevfs/internal/cluster"
 	"eevfs/internal/disk"
@@ -71,6 +72,15 @@ type (
 	// DriftingConfig parameterizes a workload whose hot set moves over
 	// time (the ext-dynamic experiment).
 	DriftingConfig = workload.DriftingConfig
+	// DriftConfig parameterizes the composable drift workload — phase
+	// rotation, flash crowds, and diurnal load — behind the adaptive
+	// policy experiments.
+	DriftConfig = workload.DriftConfig
+	// AdaptivePolicyParams tunes the online adaptive power-management
+	// arm (SimConfig.AdaptiveArm): EWMA gap estimation, adapted
+	// spin-down thresholds, transition budget, and churn-triggered
+	// re-prefetch.
+	AdaptivePolicyParams = adaptive.Params
 )
 
 // DefaultSyntheticConfig returns the paper's default workload point
@@ -92,6 +102,17 @@ func DefaultDriftingConfig() DriftingConfig { return workload.DefaultDrifting() 
 
 // DriftingWorkload generates a phase-shifting hot-set trace.
 func DriftingWorkload(cfg DriftingConfig) (*Trace, error) { return workload.Drifting(cfg) }
+
+// DefaultDriftConfig returns the strong-drift workload point of the
+// ext-adaptive experiments (16 phase hot sets over 1600 files).
+func DefaultDriftConfig() DriftConfig { return workload.DefaultDrift() }
+
+// DriftWorkload generates a composable drift trace.
+func DriftWorkload(cfg DriftConfig) (*Trace, error) { return workload.Drift(cfg) }
+
+// DefaultAdaptivePolicyParams returns the tuned production parameter set
+// for the adaptive policy arm.
+func DefaultAdaptivePolicyParams() AdaptivePolicyParams { return adaptive.Defaults() }
 
 // Disk models.
 type (

@@ -53,6 +53,41 @@ func TestPublicExperiments(t *testing.T) {
 	}
 }
 
+func TestPublicAdaptiveArm(t *testing.T) {
+	dc := eevfs.DefaultDriftConfig()
+	dc.NumFiles, dc.NumRequests, dc.Phases = 200, 200, 4
+	tr, err := eevfs.DriftWorkload(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != dc.NumRequests {
+		t.Fatalf("drift trace has %d records, want %d", len(tr.Records), dc.NumRequests)
+	}
+	params := eevfs.DefaultAdaptivePolicyParams()
+	params.ChurnWindow, params.ChurnCooldown = 24, 3
+	cfg := eevfs.DefaultTestbed().AdaptiveArm()
+	cfg.AdaptiveParams = &params
+	res, err := eevfs.Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	npf, err := eevfs.Simulate(eevfs.DefaultTestbed().NPF(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergyJ <= 0 || res.TotalEnergyJ > 2*npf.TotalEnergyJ {
+		t.Fatalf("adaptive arm energy %g J implausible against NPF %g J",
+			res.TotalEnergyJ, npf.TotalEnergyJ)
+	}
+
+	// The legacy drifting generator stays reachable through the facade.
+	oc := eevfs.DefaultDriftingConfig()
+	oc.NumFiles, oc.NumRequests = 100, 50
+	if _, err := eevfs.DriftingWorkload(oc); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicBaselines(t *testing.T) {
 	tr, err := eevfs.BerkeleyWebWorkload(eevfs.BerkeleyWebConfig{
 		NumFiles: 200, NumRequests: 100, WorkingSet: 30, ZipfExponent: 1.1,

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAdaptiveExample smoke-tests the example end to end: it must run
+// all three policy arms and print one row per arm.
+func TestRunAdaptiveExample(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, row := range []string{"no prefetch", "static prefetch", "adaptive"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("output is missing the %q row:\n%s", row, out)
+		}
+	}
+}

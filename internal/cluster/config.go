@@ -14,6 +14,7 @@ package cluster
 import (
 	"fmt"
 
+	"eevfs/internal/adaptive"
 	"eevfs/internal/disk"
 	"eevfs/internal/telemetry"
 )
@@ -131,6 +132,18 @@ type Config struct {
 	// the hint planner (hints assume the static plan).
 	ReprefetchEvery int
 
+	// Adaptive enables the online adaptive policy arm (the third arm next
+	// to PF and NPF): no up-front prefetch phase, per-disk inter-arrival
+	// estimators that adapt each data disk's spin-down threshold under a
+	// hard per-window transition budget, and churn-triggered background
+	// re-prefetching into the buffer disks. Mutually exclusive with every
+	// static policy switch — the arm starts exactly like NPF and only
+	// ever acts on what it has observed.
+	Adaptive bool
+
+	// AdaptiveParams tunes the adaptive arm; nil means adaptive.Defaults.
+	AdaptiveParams *adaptive.Params
+
 	// DownNodes lists node indices that are out of service for the whole
 	// run: the simulated mirror of the prototype server's degraded-mode
 	// placement, where files land only on healthy nodes. Down nodes
@@ -203,6 +216,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: ReprefetchEvery requires Prefetch")
 	case c.ReprefetchEvery > 0 && c.Hints:
 		return fmt.Errorf("cluster: ReprefetchEvery is incompatible with static Hints plans; disable Hints")
+	case c.Adaptive && (c.Prefetch || c.Hints || c.Prewake || c.MAID ||
+		c.Concentrate || c.DPMWithoutPrefetch || c.WriteBuffer || c.ReprefetchEvery > 0):
+		return fmt.Errorf("cluster: Adaptive is a standalone policy arm; disable the static policy switches")
+	case c.AdaptiveParams != nil && !c.Adaptive:
+		return fmt.Errorf("cluster: AdaptiveParams set without Adaptive")
+	}
+	if c.Adaptive && c.AdaptiveParams != nil {
+		if err := c.AdaptiveParams.Validate(); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
 	}
 	down := make(map[int]bool, len(c.DownNodes))
 	for _, idx := range c.DownNodes {
@@ -292,5 +315,15 @@ func (c Config) NPF() Config {
 	// Dynamic reprefetching rides on Prefetch; leaving it set would make
 	// the NPF arm fail validation (ReprefetchEvery requires Prefetch).
 	c.ReprefetchEvery = 0
+	c.Adaptive = false
+	c.AdaptiveParams = nil
+	return c
+}
+
+// AdaptiveArm returns a copy of the configuration running the online
+// adaptive policy: every static policy switch cleared, Adaptive set.
+func (c Config) AdaptiveArm() Config {
+	c = c.NPF()
+	c.Adaptive = true
 	return c
 }

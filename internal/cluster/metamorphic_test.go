@@ -65,6 +65,7 @@ func TestMetamorphicTiePermutation(t *testing.T) {
 	}{
 		{"PF", DefaultTestbed()},
 		{"NPF", DefaultTestbed().NPF()},
+		{"Adaptive", DefaultTestbed().AdaptiveArm()},
 	} {
 		base, err := Run(arm.cfg, tr)
 		if err != nil {

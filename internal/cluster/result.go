@@ -56,6 +56,14 @@ type Result struct {
 	// PrefetchEnergyJ is disk energy spent during the prefetch phase.
 	PrefetchEnergyJ float64
 
+	// AdaptiveReprefetches counts churn-triggered popularity recomputes
+	// performed by the adaptive arm (0 on every other arm).
+	AdaptiveReprefetches int
+	// AdaptiveBudgetVetoes counts spin-downs the adaptive arm wanted but
+	// the per-window transition budget refused — the thrash the hard cap
+	// absorbed.
+	AdaptiveBudgetVetoes int
+
 	// Requests is the number of trace records replayed.
 	Requests int
 

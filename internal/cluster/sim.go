@@ -74,6 +74,12 @@ type simDisk struct {
 	prewake     *simtime.Event
 	wakePending bool
 
+	// Adaptive-arm bookkeeping: the disk's index into the online
+	// controller, and the open sleep episode being banked.
+	adIdx        int
+	adSleepStart float64
+	adSleeping   bool
+
 	// sleepAllowed is the PRE-BUD gate (Section IV-C): hints predict
 	// whether any idle window on this disk clears the break-even test;
 	// when none does, the node "will not place disks into the standby
@@ -118,6 +124,9 @@ type sim struct {
 	replayed       int
 	observedCounts []int
 	fetching       map[int]bool
+
+	// Online adaptive policy state (Config.Adaptive); nil otherwise.
+	adapt *adaptiveState
 
 	// outstanding counts unfinished work items (unarrived or in-flight
 	// trace records, pending flushes, background buffer inserts). When it
@@ -214,6 +223,9 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 		s.observedCounts = make([]int, tr.NumFiles())
 	}
 	s.buildNodes()
+	if cfg.Adaptive {
+		s.adapt = s.newAdaptiveState()
+	}
 
 	counts := tr.Counts()
 	ranks := trace.RankByCount(counts)
@@ -459,7 +471,7 @@ func (s *sim) nodeArrival(now simtime.Time, rec trace.Record, sentAt simtime.Tim
 	switch rec.Op {
 	case trace.Read:
 		switch {
-		case s.cfg.Prefetch && s.prefetched[rec.FileID]:
+		case (s.cfg.Prefetch || s.cfg.Adaptive) && s.prefetched[rec.FileID]:
 			s.res.BufferHits++
 			s.met.bufferHits.Inc()
 			buf, _ := n.bufferFor(rec.FileID)
@@ -473,6 +485,12 @@ func (s *sim) nodeArrival(now simtime.Time, rec trace.Record, sentAt simtime.Tim
 			s.res.BufferMisses++
 			s.met.bufferMisses.Inc()
 			s.fanToDataDisks(n, rec.FileID, rec.Size, sentAt, opRead, now)
+		}
+		// The churn detector sees every read's buffer outcome; it runs
+		// after the enqueue so a triggered re-prefetch never queues a
+		// speculative fetch ahead of the demand read itself.
+		if s.cfg.Adaptive {
+			s.adaptiveNoteRead(rec.FileID, s.prefetched[rec.FileID], now)
 		}
 
 	case trace.Write:
@@ -549,6 +567,7 @@ func (s *sim) enqueue(d *simDisk, r *request, now simtime.Time) {
 		s.eng.Cancel(d.idleTimer)
 		d.idleTimer = nil
 	}
+	s.adaptiveObserve(d, r, now)
 	r.enqAt = now
 	d.queue = append(d.queue, r)
 	s.ensureAwake(d, now)
@@ -578,6 +597,7 @@ func (s *sim) beginSpinUp(d *simDisk, now simtime.Time) {
 		s.eng.Cancel(d.prewake)
 		d.prewake = nil
 	}
+	s.adaptiveSettle(d, now)
 	d.d.BeginSpinUp(now)
 	s.eng.After(d.d.Model().SpinUpSec, func(now simtime.Time) {
 		d.d.CompleteSpinUp(now)
@@ -830,6 +850,8 @@ func (s *sim) onIdle(d *simDisk, now simtime.Time) {
 	}
 
 	switch {
+	case s.cfg.Adaptive:
+		s.adaptiveArm(d, now)
 	case s.cfg.Prefetch && s.cfg.Hints:
 		s.hintSleep(d, now)
 	case (s.cfg.Prefetch && !s.cfg.Hints) || s.cfg.DPMWithoutPrefetch || s.cfg.MAID:

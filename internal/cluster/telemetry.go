@@ -39,6 +39,11 @@ type simMetrics struct {
 	spinDowns      *telemetry.Counter
 	respSeconds    *telemetry.Histogram
 	waitSeconds    *telemetry.Histogram
+
+	// Adaptive-arm instrumentation: the spin-down threshold in effect
+	// each time a disk is armed, and churn-triggered reprefetches.
+	adaptiveThreshold    *telemetry.Histogram
+	adaptiveReprefetches *telemetry.Counter
 }
 
 func newSimMetrics(reg *telemetry.Registry) simMetrics {
@@ -52,6 +57,9 @@ func newSimMetrics(reg *telemetry.Registry) simMetrics {
 		spinDowns:      reg.Counter("sim.disk.spindowns"),
 		respSeconds:    reg.Histogram("sim.response.seconds", nil),
 		waitSeconds:    reg.Histogram("sim.queue.wait.seconds", nil),
+
+		adaptiveThreshold:    reg.Histogram("sim.adaptive.threshold", nil),
+		adaptiveReprefetches: reg.Counter("sim.adaptive.reprefetches"),
 	}
 }
 

@@ -22,16 +22,19 @@ var Registry = map[string]Runner{
 	"fig3a":   fig3a, "fig3b": fig3b, "fig3c": fig3c, "fig3d": fig3d,
 	"fig4a": fig4a, "fig4b": fig4b, "fig4c": fig4c, "fig4d": fig4d,
 	"fig5a": fig5a, "fig5b": fig5b, "fig5c": fig5c, "fig5d": fig5d,
-	"fig6":          fig6,
-	"ext-disks":     extDisks,
-	"ext-hints":     extHints,
-	"ext-baselines": extBaselines,
-	"ext-writes":    extWrites,
-	"ext-stripe":    extStripe,
-	"ext-dynamic":   extDynamic,
-	"ext-threshold": extThreshold,
-	"ext-scale":     extScale,
-	"ext-buffers":   extBuffers,
+	"fig6":               fig6,
+	"ext-disks":          extDisks,
+	"ext-hints":          extHints,
+	"ext-baselines":      extBaselines,
+	"ext-writes":         extWrites,
+	"ext-stripe":         extStripe,
+	"ext-dynamic":        extDynamic,
+	"ext-threshold":      extThreshold,
+	"ext-scale":          extScale,
+	"ext-buffers":        extBuffers,
+	"ext-adaptive-drift": extAdaptiveDrift,
+	"ext-adaptive-flash": extAdaptiveFlash,
+	"ext-adaptive-churn": extAdaptiveChurn,
 }
 
 // IDs returns all experiment ids in stable presentation order.

@@ -20,6 +20,12 @@ import (
 // clock, returning a connected client.
 func testCluster(t *testing.T, numNodes int, mod func(*NodeConfig)) (*Client, *Server, []*Node) {
 	t.Helper()
+	return testClusterSrv(t, numNodes, mod, nil)
+}
+
+// testClusterSrv is testCluster with a server-config hook too.
+func testClusterSrv(t *testing.T, numNodes int, mod func(*NodeConfig), srvMod func(*ServerConfig)) (*Client, *Server, []*Node) {
+	t.Helper()
 	quiet := log.New(io.Discard, "", 0)
 	var nodes []*Node
 	var addrs []string
@@ -46,7 +52,11 @@ func testCluster(t *testing.T, numNodes int, mod func(*NodeConfig)) (*Client, *S
 		nodes = append(nodes, n)
 		addrs = append(addrs, n.Addr())
 	}
-	srv, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", NodeAddrs: addrs, Logger: quiet})
+	scfg := ServerConfig{Addr: "127.0.0.1:0", NodeAddrs: addrs, Logger: quiet}
+	if srvMod != nil {
+		srvMod(&scfg)
+	}
+	srv, err := StartServer(scfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eevfs/internal/adaptive"
 	"eevfs/internal/metadata"
 	"eevfs/internal/prefetch"
 	"eevfs/internal/proto"
@@ -78,6 +79,21 @@ type ServerConfig struct {
 	// buffer disk and records the replica, so reads survive the owning
 	// node's death (pre-work for full data replication).
 	MirrorPrefetch bool
+	// Policy selects the prefetch-management policy. "static" (or
+	// empty, the default) prefetches only when a client commands it;
+	// "adaptive" additionally watches the live access stream with a
+	// churn detector and re-prefetches on its own — ranked over the
+	// recent window, not whole history — whenever the observed hot set
+	// diverges from the buffered one.
+	Policy string
+	// AdaptiveParams tunes the adaptive policy's churn detector and
+	// windowed selection (nil = adaptive.Defaults()). Only consulted
+	// when Policy is "adaptive".
+	AdaptiveParams *adaptive.Params
+	// AdaptiveK caps how many files one adaptive re-prefetch selects
+	// (default 32). A client-commanded prefetch's K takes over as the
+	// cap afterwards.
+	AdaptiveK int
 	// ReplChaosSilentAfter is a test-only fault injection: a primary
 	// stops replicating (but keeps acking clients) once its op log
 	// passes this seq. It exists so the failover test battery can prove
@@ -165,6 +181,18 @@ type Server struct {
 	placements        []*telemetry.Counter
 	accessCtr         *telemetry.Counter
 
+	// Adaptive policy state (nil churn = static policy). churnMu guards
+	// the detector ring and the buffered-set snapshot; the actual
+	// re-prefetch runs in a single-flight background goroutine so the
+	// read path never waits on node RPCs.
+	churnMu      sync.Mutex
+	churn        *adaptive.Churn
+	buffered     map[int]bool
+	adParams     adaptive.Params
+	adBusy       atomic.Bool
+	lastK        atomic.Int64
+	reprefetches *telemetry.Counter
+
 	accesses trace.AtomicLog
 	sizes    sizeTable    // per file id (dense); slots survive deletes
 	nextID   atomic.Int64 // next file id
@@ -221,6 +249,27 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 		stop:   make(chan struct{}),
 	}
+	switch cfg.Policy {
+	case "", "static":
+	case "adaptive":
+		p := adaptive.Defaults()
+		if cfg.AdaptiveParams != nil {
+			p = *cfg.AdaptiveParams
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		s.adParams = p
+		s.churn = adaptive.NewChurn(p)
+		s.buffered = make(map[int]bool)
+		k := cfg.AdaptiveK
+		if k <= 0 {
+			k = 32
+		}
+		s.lastK.Store(int64(k))
+	default:
+		return nil, fmt.Errorf("fs: unknown policy %q (want static or adaptive)", cfg.Policy)
+	}
 	s.met = newOpMetrics(cfg.Metrics, "server", []proto.Type{
 		proto.TCreateReq, proto.TLookupReq, proto.TListReq, proto.TDeleteReq,
 		proto.TPrefetchReq, proto.TStatsReq,
@@ -229,6 +278,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	s.healthyNodes = cfg.Metrics.Gauge("server.nodes.healthy")
 	s.healthyNodes.Set(float64(len(cfg.NodeAddrs)))
 	s.accessCtr = cfg.Metrics.Counter("server.accesses")
+	s.reprefetches = cfg.Metrics.Counter("server.adaptive.reprefetches")
 	s.replLag = cfg.Metrics.Gauge("server.repl.lag")
 	s.roleG = cfg.Metrics.Gauge("server.repl.primary")
 	s.failoversC = cfg.Metrics.Counter("server.repl.failovers")
@@ -660,7 +710,10 @@ func (s *Server) handleLookupWrite(req proto.LookupReq, sp *telemetry.Span) (pro
 	}, nil
 }
 
-// journalAccess appends one popularity record for fi.
+// journalAccess appends one popularity record for fi and, under the
+// adaptive policy, feeds the churn detector — kicking off a background
+// re-prefetch when the observed hot set has diverged from the buffered
+// one.
 func (s *Server) journalAccess(fi metadata.FileInfo) {
 	s.accesses.Append(trace.Record{ // Seq is assigned atomically by the log
 		TimeS:  float64(s.clock.Now()),
@@ -669,6 +722,65 @@ func (s *Server) journalAccess(fi metadata.FileInfo) {
 		Size:   fi.Size,
 	})
 	s.accessCtr.Inc()
+	if s.churn == nil {
+		return
+	}
+	s.churnMu.Lock()
+	fire := s.churn.Observe(fi.ID, s.buffered[fi.ID])
+	s.churnMu.Unlock()
+	if fire && s.primary.Load() && s.adBusy.CompareAndSwap(false, true) {
+		s.wg.Add(1)
+		go s.adaptiveRecompute()
+	}
+}
+
+// adaptiveRecompute is the churn-triggered re-prefetch: rank the files
+// seen in the detector's recent window (not whole-history counts — the
+// point is to chase the hot set as it moves), command the nodes through
+// the same fan-out a client-issued prefetch uses, and record the new
+// buffered set. Single-flight via adBusy; failures are logged, not
+// fatal, and do not reset the detector, so a transient node error gets
+// retried on the next trigger.
+func (s *Server) adaptiveRecompute() {
+	defer s.wg.Done()
+	defer s.adBusy.Store(false)
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	s.churnMu.Lock()
+	counts := s.churn.Counts()
+	s.churnMu.Unlock()
+	ids := prefetch.SelectWindowed(counts, s.adParams.MinFetchHits, int(s.lastK.Load()))
+	if len(ids) == 0 {
+		return
+	}
+	// Counted at command time: a concurrent read may be served from a
+	// freshly staged buffer before the whole fan-out returns.
+	s.reprefetches.Inc()
+	if _, err := s.commandPrefetch(ids, nil); err != nil {
+		s.logger.Printf("adaptive reprefetch: %v", err)
+		return
+	}
+	s.noteBuffered(ids)
+}
+
+// noteBuffered replaces the buffered-set snapshot the churn detector
+// scores hits against and starts its cooldown.
+func (s *Server) noteBuffered(ids []int) {
+	if s.churn == nil {
+		return
+	}
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	s.churnMu.Lock()
+	s.buffered = set
+	s.churn.Reset()
+	s.churn.Rescore(func(fid int) bool { return set[fid] })
+	s.churnMu.Unlock()
 }
 
 func (s *Server) handleDelete(req proto.DeleteReq, sp *telemetry.Span) error {
@@ -720,7 +832,21 @@ func (s *Server) handlePrefetch(k int, sp *telemetry.Span) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if k > 0 {
+		s.lastK.Store(int64(k)) // the operator's depth becomes the adaptive cap
+	}
+	total, err := s.commandPrefetch(ids, sp)
+	if err == nil {
+		s.noteBuffered(ids)
+	}
+	return total, err
+}
 
+// commandPrefetch groups the selected ids by owning node, commands each
+// node's staging concurrently, forwards access-pattern hints, and
+// mirrors when configured — the fan-out shared by client-issued and
+// adaptive re-prefetches.
+func (s *Server) commandPrefetch(ids []int, sp *telemetry.Span) (int64, error) {
 	perNode := make(map[int][]int64)
 	for _, id := range ids {
 		fi, ok := s.meta.LookupID(id)

@@ -45,6 +45,30 @@ func Select(counts []int, sizes []int64, k int, capacity int64) ([]int, error) {
 	return picked, nil
 }
 
+// SelectWindowed ranks files by their access counts over a sliding
+// popularity window (the adaptive policy's churn-triggered re-ranking,
+// in contrast to Select's whole-trace counts) and returns the ids worth
+// fetching: windowed count at least minHits, in descending count order
+// with ties broken by ascending id. max > 0 caps the result length.
+func SelectWindowed(counts map[int]int, minHits, max int) []int {
+	ids := make([]int, 0, len(counts))
+	for id, c := range counts {
+		if c >= minHits {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if max > 0 && len(ids) > max {
+		ids = ids[:max]
+	}
+	return ids
+}
+
 // Set is a prefetch decision as a membership test.
 type Set map[int]bool
 

@@ -7,7 +7,6 @@ import (
 	"eevfs/internal/cluster"
 	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
-	"eevfs/internal/workload"
 )
 
 // Artifacts is everything one scenario run leaves behind for the oracles:
@@ -46,7 +45,7 @@ func failf(oracle, format string, args ...any) *Failure {
 // applies any test-only injection to the artifacts. It does not judge the
 // results — that is Check's job.
 func Run(s Scenario) (*Artifacts, error) {
-	tr, err := workload.Synthetic(s.WorkloadConfig())
+	tr, err := s.BuildTrace()
 	if err != nil {
 		return nil, fmt.Errorf("simtest: workload: %w", err)
 	}
@@ -94,6 +93,10 @@ func applyInject(a *Artifacts) {
 		)
 	case InjectEnergySkew:
 		a.Result.DiskEnergyJ++
+	case InjectBadEstimator:
+		// Pre-run injection: ClusterConfig already armed the broken
+		// estimator, so there is nothing to corrupt after the fact —
+		// the run's own journal carries the thrash.
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"eevfs/internal/adaptive"
 	"eevfs/internal/disk"
 	"eevfs/internal/telemetry"
 	"eevfs/internal/trace"
@@ -34,6 +35,8 @@ var Oracles = []Oracle{
 	{"covered-quiesce", checkCoveredQuiesce},
 	{"npf-static", checkNPFStatic},
 	{"pf-dominates-npf", checkPFDominatesNPF},
+	{"adaptive-dominates-npf", checkAdaptiveDominatesNPF},
+	{"adaptive-transition-budget", checkAdaptiveTransitionBudget},
 }
 
 const eps = 1e-9
@@ -284,11 +287,15 @@ func checkRequestAccounting(a *Artifacts) *Failure {
 		return failf("request-accounting", "journal has %d request events for %d requests", nreq, r.Requests)
 	}
 	s := a.Scenario
-	if !s.Prefetch && r.PrefetchedFiles != 0 {
+	if !s.Prefetch && !s.Adaptive && r.PrefetchedFiles != 0 {
 		return failf("request-accounting", "PrefetchedFiles=%d without Prefetch", r.PrefetchedFiles)
 	}
 	if s.Prefetch && s.ReprefetchEvery == 0 && r.PrefetchedFiles > s.PrefetchCount {
 		return failf("request-accounting", "PrefetchedFiles=%d exceeds budget K=%d", r.PrefetchedFiles, s.PrefetchCount)
+	}
+	if !s.Adaptive && (r.AdaptiveReprefetches != 0 || r.AdaptiveBudgetVetoes != 0) {
+		return failf("request-accounting", "adaptive counters (%d reprefetches, %d vetoes) on a non-adaptive arm",
+			r.AdaptiveReprefetches, r.AdaptiveBudgetVetoes)
 	}
 	return nil
 }
@@ -408,3 +415,100 @@ func checkPFDominatesNPF(a *Artifacts) *Failure {
 // PF-dominates-NPF oracle (before knowing the miss count). The corpus
 // test uses it to assert the oracle is not vacuously green.
 func DominanceEligible(s Scenario) bool { return pfRegime(s) }
+
+// wakeSlackJ is the irreducible online penalty one sleep episode can
+// cost beyond the disk-level ledger: either edge of the transition (the
+// spin-down completing after the last request, or the spin-up a waiting
+// read rode in on) lands on the makespan's critical path, during which
+// the whole cluster (node base power plus every disk's idle draw) keeps
+// burning. It is the slower transition priced fleet-wide — a few
+// hundred Joules against run totals in the hundreds of thousands.
+func wakeSlackJ(s Scenario) float64 {
+	up := s.UpNodeConfigs()
+	maxTrans, idleSum := 0.0, 0.0
+	for _, n := range up {
+		for _, m := range []disk.Model{n.DataModel, n.BufferModel} {
+			if m.SpinUpSec > maxTrans {
+				maxTrans = m.SpinUpSec
+			}
+			if m.SpinDownSec > maxTrans {
+				maxTrans = m.SpinDownSec
+			}
+		}
+		idleSum += float64(n.DataDisks)*n.DataModel.PIdle + float64(n.BufferDisks)*n.BufferModel.PIdle
+	}
+	return maxTrans * (55*float64(len(up)) + idleSum)
+}
+
+// checkAdaptiveDominatesNPF is the adaptive arm's headline guarantee as
+// an invariant: in every regime the generator can produce — drifting,
+// flash-crowd, diurnal, or stationary — the online policy must not lose
+// energy versus never managing power at all, beyond one fleet-wide wake
+// slack per sleep episode (counted by spin-downs — every episode starts
+// with one; spin-ups undercount episodes still asleep at trace end).
+// The per-episode form is the tight sound bound for an online policy:
+// each episode can extend the critical path by at most one transition
+// time (the disk-level transition and dwell costs are already in the
+// energy ledger the totals compare), and no online policy can rule out
+// that every one of its episodes lands on the path — e.g. when the
+// trace simply ends mid-spin-down. The episode
+// count itself is bounded by the transition-budget oracle, so the two
+// checks together cage the worst case: bounded episodes, bounded loss
+// per episode. When the policy took no action at all, the run must
+// match NPF exactly — the arm starts as NPF and pays nothing for its
+// bookkeeping.
+func checkAdaptiveDominatesNPF(a *Artifacts) *Failure {
+	s, r := a.Scenario, a.Result
+	if !s.Adaptive || s.Inject == InjectBadEstimator {
+		return nil
+	}
+	if r.SpinDowns == 0 && r.PrefetchedFiles == 0 {
+		if !closeTo(r.TotalEnergyJ, a.NPF.TotalEnergyJ) {
+			return failf("adaptive-dominates-npf",
+				"adaptive arm took no actions but used %g J versus NPF's %g J",
+				r.TotalEnergyJ, a.NPF.TotalEnergyJ)
+		}
+		return nil
+	}
+	if slack := float64(r.SpinDowns) * wakeSlackJ(s); r.TotalEnergyJ > a.NPF.TotalEnergyJ+slack {
+		return failf("adaptive-dominates-npf",
+			"adaptive arm used %g J, NPF baseline %g J (+%g J wake slack): lost %g J",
+			r.TotalEnergyJ, a.NPF.TotalEnergyJ, slack, r.TotalEnergyJ-a.NPF.TotalEnergyJ-slack)
+	}
+	return nil
+}
+
+// checkAdaptiveTransitionBudget re-derives the adaptive arm's hard
+// anti-thrash bound from the journal: no data disk may begin more than
+// BudgetPerWindow spin-downs inside any BudgetWindowSec sliding window.
+// The bound holds for *any* estimator state — it is exactly what makes
+// a mispredicting estimator safe — so the oracle checks it even (and
+// especially) under the bad-estimator injection.
+func checkAdaptiveTransitionBudget(a *Artifacts) *Failure {
+	s := a.Scenario
+	if !s.Adaptive {
+		return nil
+	}
+	p := adaptive.Defaults()
+	b, w := p.BudgetPerWindow, p.BudgetWindowSec
+	states, _ := byDisk(a.Events)
+	for name, tl := range states {
+		if !strings.Contains(name, "/data") {
+			continue
+		}
+		var downs []float64
+		for _, ch := range tl {
+			if ch.state == "spinning-down" {
+				downs = append(downs, ch.t)
+			}
+		}
+		for i := 0; i+b < len(downs); i++ {
+			if downs[i+b] < downs[i]+w-eps {
+				return failf("adaptive-transition-budget",
+					"disk %s began %d spin-downs within %.3g s (t=%g..%g), budget is %d per %g s",
+					name, b+1, downs[i+b]-downs[i], downs[i], downs[i+b], b, w)
+			}
+		}
+	}
+	return nil
+}

@@ -113,6 +113,10 @@ var codecs = []fieldCodec{
 	floatField("mu", func(s *Scenario) *float64 { return &s.MU }),
 	floatField("delayms", func(s *Scenario) *float64 { return &s.InterArrivalMS }),
 	intField("writes", func(s *Scenario) *int { return &s.WritePct }),
+	boolField("adaptive", func(s *Scenario) *bool { return &s.Adaptive }),
+	intField("dphases", func(s *Scenario) *int { return &s.DriftPhases }),
+	intField("flash", func(s *Scenario) *int { return &s.FlashPct }),
+	intField("diurnal", func(s *Scenario) *int { return &s.DiurnalPct }),
 	{
 		key: "inject",
 		get: func(s *Scenario) string { return s.Inject },

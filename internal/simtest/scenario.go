@@ -20,9 +20,11 @@ package simtest
 import (
 	"math"
 
+	"eevfs/internal/adaptive"
 	"eevfs/internal/cluster"
 	"eevfs/internal/disk"
 	"eevfs/internal/rng"
+	"eevfs/internal/trace"
 	"eevfs/internal/workload"
 )
 
@@ -58,6 +60,10 @@ type Scenario struct {
 	BufferCapMB        int // 0 = drive-capacity bound
 	RouteLatencyMS     float64
 
+	// Adaptive selects the online power-management arm (mutually
+	// exclusive with every other policy switch, like cluster.Config).
+	Adaptive bool
+
 	// Workload (workload.SyntheticConfig mirror).
 	Files          int
 	Requests       int
@@ -66,6 +72,13 @@ type Scenario struct {
 	MU             float64
 	InterArrivalMS float64
 	WritePct       int
+
+	// Drift dimensions (workload.DriftConfig mirror; all zero = the
+	// plain synthetic workload). Adaptive scenarios always use the drift
+	// generator, with DriftPhases=0 meaning one stationary phase.
+	DriftPhases int // popularity epochs
+	FlashPct    int // flash-crowd redirect probability, percent (0 = off)
+	DiurnalPct  int // diurnal inter-arrival amplitude, percent (0 = off)
 
 	// Inject names a test-only invariant breaker the harness applies to
 	// the run's artifacts before the oracles see them (see harness.go).
@@ -83,6 +96,12 @@ const (
 	// InjectEnergySkew adds a joule to Result.DiskEnergyJ without
 	// touching the per-disk stats, breaking energy conservation.
 	InjectEnergySkew = "energy-skew"
+	// InjectBadEstimator breaks the adaptive arm's estimator before the
+	// run: it claims every inter-arrival gap is profitably long and
+	// bypasses the transition budget (adaptive.Params.Mispredict), so
+	// the disks thrash — which the adaptive-transition-budget oracle
+	// must catch. Only meaningful on Adaptive scenarios.
+	InjectBadEstimator = "bad-estimator"
 )
 
 // Generate derives a scenario from a seed. Every generated scenario is
@@ -106,15 +125,30 @@ func Generate(seed uint64) Scenario {
 	s.IdleThresholdSec = []float64{1, 2, 5, 10}[src.Intn(4)]
 	s.RouteLatencyMS = float64(1+src.Intn(5)) / 2 // 0.5..2.5 ms
 
-	// Policy family: mostly PF (the system under test), with MAID and
-	// the DPM/NPF baselines mixed in.
+	// Policy family: mostly PF (the system under test), with the online
+	// adaptive arm, MAID, and the DPM/NPF baselines mixed in.
 	switch p := src.Float64(); {
-	case p < 0.70:
+	case p < 0.55:
 		s.Prefetch = true
-	case p < 0.80:
+	case p < 0.65:
 		s.MAID = true
+	case p < 0.90:
+		s.Adaptive = true
 	default:
 		s.DPMWithoutPrefetch = src.Float64() < 0.5
+	}
+	if s.Adaptive {
+		// Drift dimensions: phase rotation most of the time, flash
+		// crowds and diurnal load each mixed into a slice of the space.
+		if src.Float64() < 0.8 {
+			s.DriftPhases = 1 + src.Intn(12)
+		}
+		if src.Float64() < 0.35 {
+			s.FlashPct = 20 + src.Intn(61)
+		}
+		if src.Float64() < 0.35 {
+			s.DiurnalPct = 20 + src.Intn(61)
+		}
 	}
 	if s.Prefetch {
 		s.PrefetchCount = 1 + src.Intn(120)
@@ -162,6 +196,47 @@ func Generate(seed uint64) Scenario {
 		s.InterArrivalMS = float64(500 + src.Intn(501))
 		s.Requests = 150 + src.Intn(151)
 		s.PrefetchCount = 40 + src.Intn(81)
+	}
+	if s.Adaptive {
+		// The adaptive arm is standalone (cluster.Config.Validate) and
+		// its drift workload is read-only.
+		s.Concentrate = false
+		s.WritePct = 0
+	}
+	return s
+}
+
+// GenerateDrift derives an adaptive-arm drift scenario from a seed: the
+// steered generator behind the `eevfssim -drift` battery and the nightly
+// soak job. Every scenario runs the online policy on a drift workload so
+// the adaptive oracles are exercised on every single iteration instead
+// of the ~25 % of Generate's space that lands on the adaptive branch.
+func GenerateDrift(seed uint64) Scenario {
+	s := Generate(seed)
+	s.Prefetch = false
+	s.PrefetchCount = 0
+	s.Hints = false
+	s.Prewake = false
+	s.DPMWithoutPrefetch = false
+	s.WriteBuffer = false
+	s.MAID = false
+	s.Concentrate = false
+	s.ReprefetchEvery = 0
+	s.Adaptive = true
+	s.WritePct = 0
+	// Re-draw the drift dimensions from a derived stream so they are
+	// present regardless of which policy branch Generate took.
+	src := rng.New(seed ^ 0x9E3779B97F4A7C15)
+	s.DriftPhases = 1 + src.Intn(12)
+	if src.Float64() < 0.4 {
+		s.FlashPct = 20 + src.Intn(61)
+	}
+	if src.Float64() < 0.4 {
+		s.DiurnalPct = 20 + src.Intn(61)
+	}
+	// Drift needs enough requests for the phases to be visible.
+	if s.Requests < 80 {
+		s.Requests += 80
 	}
 	return s
 }
@@ -214,11 +289,64 @@ func (s Scenario) ClusterConfig() cluster.Config {
 		ReprefetchEvery:     s.ReprefetchEvery,
 		BufferCapacityBytes: int64(s.BufferCapMB) * 1e6,
 		RouteLatencySec:     s.RouteLatencyMS / 1000,
+		Adaptive:            s.Adaptive,
+	}
+	if s.Adaptive && s.Inject == InjectBadEstimator {
+		// The bad-estimator injection is pre-run (it breaks the policy,
+		// not the artifacts): the controller claims every gap profits
+		// and ignores its transition budget.
+		p := adaptive.Defaults()
+		p.Mispredict = true
+		cfg.AdaptiveParams = &p
 	}
 	for i := 0; i < s.DownNodes; i++ {
 		cfg.DownNodes = append(cfg.DownNodes, i)
 	}
 	return cfg
+}
+
+// UsesDrift reports whether the scenario's workload comes from the
+// composable drift generator rather than the plain synthetic one.
+func (s Scenario) UsesDrift() bool {
+	return s.Adaptive || s.DriftPhases > 0 || s.FlashPct > 0 || s.DiurnalPct > 0
+}
+
+// DriftWorkloadConfig expands the scenario into the drift-trace
+// generator configuration (only meaningful when UsesDrift()).
+func (s Scenario) DriftWorkloadConfig() workload.DriftConfig {
+	phases := s.DriftPhases
+	if phases < 1 {
+		phases = 1
+	}
+	dc := workload.DriftConfig{
+		NumFiles:     s.Files,
+		NumRequests:  s.Requests,
+		MeanSize:     int64(s.MeanSizeKB) * 1000,
+		MU:           s.MU,
+		Phases:       phases,
+		InterArrival: s.InterArrivalMS / 1000,
+		Seed:         s.Seed,
+	}
+	if s.FlashPct > 0 {
+		dc.FlashStartFrac = 0.4
+		dc.FlashDurFrac = 0.25
+		dc.FlashBoost = float64(s.FlashPct) / 100
+		dc.FlashFiles = 8
+	}
+	if s.DiurnalPct > 0 {
+		dc.DiurnalPeriodSec = 60
+		dc.DiurnalAmplitude = float64(s.DiurnalPct) / 100
+	}
+	return dc
+}
+
+// BuildTrace generates the scenario's workload trace, dispatching on the
+// workload family.
+func (s Scenario) BuildTrace() (*trace.Trace, error) {
+	if s.UsesDrift() {
+		return workload.Drift(s.DriftWorkloadConfig())
+	}
+	return workload.Synthetic(s.WorkloadConfig())
 }
 
 // WorkloadConfig expands the scenario into the synthetic-trace generator
@@ -243,6 +371,9 @@ func (s Scenario) WorkloadConfig() workload.SyntheticConfig {
 func (s Scenario) Valid() error {
 	if err := s.ClusterConfig().Validate(); err != nil {
 		return err
+	}
+	if s.UsesDrift() {
+		return s.DriftWorkloadConfig().Validate()
 	}
 	return s.WorkloadConfig().Validate()
 }

@@ -19,6 +19,7 @@ const corpusBase = uint64(1000)
 func TestCorpus(t *testing.T) {
 	dominance := 0
 	maid, writes, down := 0, 0, 0
+	adaptive, drifting, flash, diurnal := 0, 0, 0, 0
 	for i := 0; i < corpusSize; i++ {
 		seed := corpusBase + uint64(i)
 		s := Generate(seed)
@@ -33,6 +34,18 @@ func TestCorpus(t *testing.T) {
 		}
 		if s.DownNodes > 0 {
 			down++
+		}
+		if s.Adaptive {
+			adaptive++
+		}
+		if s.DriftPhases > 1 {
+			drifting++
+		}
+		if s.FlashPct > 0 {
+			flash++
+		}
+		if s.DiurnalPct > 0 {
+			diurnal++
 		}
 		if f := Check(s); f != nil {
 			t.Errorf("seed %d: oracle %s: %s\n  repro: %s", seed, f.Oracle, f.Msg, ReproCommand(s))
@@ -51,6 +64,40 @@ func TestCorpus(t *testing.T) {
 	}
 	if down == 0 {
 		t.Error("corpus never generated a degraded cluster")
+	}
+	if adaptive == 0 {
+		t.Error("corpus never generated an adaptive-arm scenario; its oracles were vacuous")
+	}
+	if drifting == 0 {
+		t.Error("corpus never generated popularity drift")
+	}
+	if flash == 0 {
+		t.Error("corpus never generated a flash crowd")
+	}
+	if diurnal == 0 {
+		t.Error("corpus never generated diurnal load")
+	}
+}
+
+// TestGenerateDrift checks the steered drift generator behind the
+// `eevfssim -drift` battery: deterministic, always the adaptive arm on a
+// drift workload, and valid across a wide seed sweep.
+func TestGenerateDrift(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		seed := uint64(5_000_000 + i*31)
+		s := GenerateDrift(seed)
+		if b := GenerateDrift(seed); s != b {
+			t.Fatalf("seed %d: GenerateDrift is not deterministic", seed)
+		}
+		if !s.Adaptive || !s.UsesDrift() {
+			t.Fatalf("seed %d: drift generator produced a non-adaptive scenario: %+v", seed, s)
+		}
+		if s.Prefetch || s.MAID || s.DPMWithoutPrefetch || s.WriteBuffer || s.WritePct != 0 {
+			t.Fatalf("seed %d: adaptive arm is not standalone: %+v", seed, s)
+		}
+		if err := s.Valid(); err != nil {
+			t.Fatalf("seed %d generates an invalid drift scenario: %v\n%+v", seed, err, s)
+		}
 	}
 }
 
@@ -133,6 +180,78 @@ func TestInjectedStandbyReadCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestInjectedBadEstimatorCaughtAndShrunk is the acceptance path for the
+// adaptive oracles: an intentionally broken inter-arrival estimator (one
+// that always claims the next gap is profitably long and bypasses the
+// transition budget) must thrash the disks hard enough for the
+// transition-budget oracle to fire, and the failure must shrink to a
+// small reproducer that replays from the printed one-line command.
+func TestInjectedBadEstimatorCaughtAndShrunk(t *testing.T) {
+	// Steer the shape so per-disk gaps land just above the spin-down
+	// threshold (~3 s): 4 data disks sharing 1 req/s gives ~4 s gaps,
+	// which a sane policy would ride out and a broken one sleeps into.
+	s := GenerateDrift(corpusBase)
+	s.NodeCount = 2
+	s.Type2Count = 0
+	s.DataDisks = 2
+	s.BufferDisks = 1
+	s.DownNodes = 0
+	s.IdleThresholdSec = 1
+	s.Files = 200
+	s.Requests = 160
+	s.MU = 50
+	s.InterArrivalMS = 1000
+	s.FlashPct = 0
+	s.DiurnalPct = 0
+	s.Inject = InjectBadEstimator
+	if err := s.Valid(); err != nil {
+		t.Fatalf("steered scenario invalid: %v", err)
+	}
+
+	f := Check(s)
+	if f == nil {
+		t.Fatal("injected bad estimator was not caught by any oracle")
+	}
+	if f.Oracle != "adaptive-transition-budget" {
+		t.Fatalf("bad estimator attributed to oracle %q, want adaptive-transition-budget (%s)", f.Oracle, f.Msg)
+	}
+
+	min := Shrink(s, f, Check)
+	if min.Failure.Oracle != "adaptive-transition-budget" {
+		t.Fatalf("shrinker drifted to oracle %q", min.Failure.Oracle)
+	}
+	if min.Scenario.Inject != InjectBadEstimator {
+		t.Error("shrinker dropped the injection, which is what makes the scenario fail")
+	}
+	if !min.Scenario.Adaptive {
+		t.Error("shrinker dropped the adaptive arm, which is what the oracle checks")
+	}
+	// Six spin-downs inside one budget window need ~100 one-second
+	// arrivals, so the floor is far above the standby test's 10 — but
+	// the shrinker must still make progress.
+	if min.Scenario.Requests >= s.Requests {
+		t.Errorf("shrinker made no progress on requests: %d of %d", min.Scenario.Requests, s.Requests)
+	}
+
+	cmd := ReproCommand(min.Scenario)
+	if !strings.HasPrefix(cmd, "eevfssim -seed=") || !strings.Contains(cmd, "-repro='v1,") {
+		t.Fatalf("unexpected repro command shape: %s", cmd)
+	}
+	decoded, err := DecodeScenario(min.Scenario.Encode())
+	if err != nil {
+		t.Fatalf("re-decoding the repro string: %v", err)
+	}
+	if decoded != min.Scenario {
+		t.Fatalf("repro string does not round-trip:\nencoded %+v\ndecoded %+v", min.Scenario, decoded)
+	}
+	for run := 0; run < 2; run++ {
+		rf := Check(decoded)
+		if rf == nil || rf.Oracle != "adaptive-transition-budget" {
+			t.Fatalf("replay %d of the minimal repro did not reproduce the budget violation: %+v", run, rf)
+		}
+	}
+}
+
 // TestInjectedEnergySkewCaught: corrupting the disk-energy total by one
 // joule must trip the conservation oracle.
 func TestInjectedEnergySkewCaught(t *testing.T) {
@@ -158,6 +277,8 @@ func TestRunArtifacts(t *testing.T) {
 	}
 	s.MAID = false
 	s.DPMWithoutPrefetch = false
+	s.Adaptive = false
+	s.DriftPhases, s.FlashPct, s.DiurnalPct = 0, 0, 0
 	if err := s.Valid(); err != nil {
 		t.Fatalf("steered scenario invalid: %v", err)
 	}

@@ -16,7 +16,7 @@ import (
 func TestNoWallClockInDeterministicPaths(t *testing.T) {
 	pkgs := []string{
 		"cluster", "simtime", "disk", "workload", "prefetch",
-		"placement", "netmodel", "rng", "trace", "simtest",
+		"placement", "netmodel", "rng", "trace", "simtest", "adaptive",
 	}
 	exempt := map[string]bool{
 		filepath.Join("simtest", "live.go"): true,
