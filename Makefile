@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-stream bench-compare cover soak soak-failover soak-drift
+.PHONY: build test race vet fuzz verify bench bench-parallel bench-mux bench-trace bench-stream bench-load bench-compare load-smoke cover soak soak-failover soak-drift
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,25 @@ fuzz:
 	$(GO) test ./internal/proto -run=^$$ -fuzz=FuzzReadStreamFrames -fuzztime=15s
 	$(GO) test ./internal/faultnet -run=^$$ -fuzz=FuzzCorruptedFrames -fuzztime=15s
 
+# Per-suite benchmark commands. The recording targets below and the
+# bench-compare gate invoke these SAME variables, so the suite a baseline
+# was recorded with can never drift from the suite the gate reruns.
+BENCH_CMD_parallel = $(GO) test -run '^$$' \
+	-bench 'Sweep|RunMany|ServerLookup|ServerStats|Sharded|ServerMap|AtomicLog|AccessLog' \
+	-benchtime 3x -count 3 -json \
+	./internal/experiments ./internal/fs ./internal/metadata ./internal/trace
+BENCH_CMD_mux = $(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
+	-benchtime 200x -count 3 -json ./internal/proto
+BENCH_CMD_trace = $(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
+	-benchtime 200x -count 3 -benchmem -json ./internal/proto
+BENCH_CMD_stream = $(GO) test -run '^$$' -bench 'BenchmarkStream' \
+	-benchtime 1x -count 3 -benchmem -json ./internal/fs
+BENCH_CMD_load = $(GO) test -run '^$$' -bench 'BenchmarkLoad' \
+	-benchtime 1x -count 3 -json ./internal/fs
+
 # Snapshot every benchmark once (test2json stream) so perf regressions
 # can be diffed against a committed baseline.
-bench: bench-parallel bench-mux bench-trace bench-stream
+bench: bench-parallel bench-mux bench-trace bench-stream bench-load
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_baseline.json
 
 # The parallel-engine comparison (ISSUE 3 acceptance): sweep wall-clock
@@ -34,26 +50,20 @@ bench: bench-parallel bench-mux bench-trace bench-stream
 # metadata/access-log microbenchmarks. Speedups require real cores —
 # record GOMAXPROCS alongside the numbers.
 bench-parallel:
-	$(GO) test -run '^$$' \
-		-bench 'Sweep|RunMany|ServerLookup|ServerStats|Sharded|ServerMap|AtomicLog|AccessLog' \
-		-benchtime 3x -count 3 -json \
-		./internal/experiments ./internal/fs ./internal/metadata ./internal/trace \
-		> BENCH_parallel.json
+	$(BENCH_CMD_parallel) > BENCH_parallel.json
 
 # The multiplexed-transport comparison (ISSUE 5 acceptance): 8 concurrent
 # callers taking turns on a serialized v1 connection vs pipelining on one
 # multiplexed v2 connection, identical simulated service time.
 bench-mux:
-	$(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
-		-benchtime 200x -count 3 -json ./internal/proto > BENCH_mux.json
+	$(BENCH_CMD_mux) > BENCH_mux.json
 
 # The tracing-overhead comparison (ISSUE 7 acceptance): the pipelined
 # mux benchmark with tracing off vs on at the production default 1%
 # head-sampling rate (span per call, wire-propagated context). The
 # traced variant must stay within a few percent of the plain one.
 bench-trace:
-	$(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
-		-benchtime 200x -count 3 -benchmem -json ./internal/proto > BENCH_trace.json
+	$(BENCH_CMD_trace) > BENCH_trace.json
 
 # The streaming data-plane comparison (ISSUE 8 acceptance): chunked
 # streamed reads at 1KB / 1MB / 64MB plus a streamed write and the
@@ -61,8 +71,14 @@ bench-trace:
 # the O(chunk) guard — a 64MB read allocating like the file size means
 # the pool regressed.
 bench-stream:
-	$(GO) test -run '^$$' -bench 'BenchmarkStream' \
-		-benchtime 1x -count 3 -benchmem -json ./internal/fs > BENCH_stream.json
+	$(BENCH_CMD_stream) > BENCH_stream.json
+
+# The load-harness capacity numbers (ISSUE 10 acceptance): fixed-work
+# open/closed-loop runs through the full TCP stack — RPC round-trip
+# capacity, mixed traffic, 1000-client fan-in, and accept-path connection
+# cycling. Each reports achieved ops/s and read p99 alongside ns/op.
+bench-load:
+	$(BENCH_CMD_load) > BENCH_load.json
 
 # The CI perf-regression gate: rerun the gated benchmark suites fresh and
 # diff them against the committed baselines. Fails on a >25% geomean
@@ -73,19 +89,23 @@ bench-stream:
 BENCH_MAX_REGRESS ?= 1.25
 bench-compare:
 	@tmp=$$(mktemp); \
-	{ $(GO) test -run '^$$' \
-		-bench 'Sweep|RunMany|ServerLookup|ServerStats|Sharded|ServerMap|AtomicLog|AccessLog' \
-		-benchtime 3x -count 3 -json \
-		./internal/experiments ./internal/fs ./internal/metadata ./internal/trace > $$tmp && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEndpoint(Serialized|Pipelined)' \
-		-benchtime 200x -count 3 -json ./internal/proto >> $$tmp && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEndpointPipelined(Traced)?$$' \
-		-benchtime 200x -count 3 -benchmem -json ./internal/proto >> $$tmp && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkStream' \
-		-benchtime 1x -count 3 -benchmem -json ./internal/fs >> $$tmp && \
+	{ $(BENCH_CMD_parallel) > $$tmp && \
+	  $(BENCH_CMD_mux) >> $$tmp && \
+	  $(BENCH_CMD_trace) >> $$tmp && \
+	  $(BENCH_CMD_stream) >> $$tmp && \
+	  $(BENCH_CMD_load) >> $$tmp && \
 	  $(GO) run ./cmd/benchdiff -max $(BENCH_MAX_REGRESS) -normalize \
-		-fresh $$tmp BENCH_parallel.json BENCH_mux.json BENCH_trace.json BENCH_stream.json; }; \
+		-fresh $$tmp BENCH_parallel.json BENCH_mux.json BENCH_trace.json BENCH_stream.json BENCH_load.json; }; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# The CI load-smoke lane: 60 seconds of open-loop load from 500 clients
+# against a freshly booted in-process cluster (3 replicated metadata
+# servers over 3 nodes). Fails on any typed error or a read/write/stream
+# p99 above the (deliberately generous, CI-runner-friendly) 2s bound.
+load-smoke:
+	$(GO) run ./cmd/eevfsload -clients 500 -conns 32 -duration 60s \
+		-rate 2000 -writes 0.1 -streams 0.1 -seed 1 \
+		-report 10s -fail-on-errors -max-p99 2
 
 # Coverage with a ratchet: the total must never drop below the committed
 # COVERAGE_BASELINE. Raise the baseline when coverage durably improves.

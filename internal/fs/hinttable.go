@@ -1,0 +1,114 @@
+package fs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunk geometry for hintTable, mirroring sizeTable: file ids are dense
+// and monotonic, so a chunked grow-only array beats a map and needs no
+// per-read lock.
+const (
+	hintChunkBits = 10
+	hintChunkSize = 1 << hintChunkBits
+)
+
+// hintStat is one file's incremental access aggregate: how often it was
+// read and the first/last access times, which is exactly what the
+// inter-arrival hint (Section IV-C) needs. Times are stored as
+// math.Float64bits(t)+1 so zero means "never set" — the bits of
+// non-negative floats order the same as the floats, so CAS min/max works
+// on the encoded form.
+type hintStat struct {
+	count atomic.Int64
+	first atomic.Uint64
+	last  atomic.Uint64
+}
+
+type hintChunk [hintChunkSize]hintStat
+
+// hintTable folds every journaled access into per-file {count, first,
+// last} as it happens, so hint derivation at prefetch time reads one
+// slot per file instead of re-walking the whole access history (the
+// O(history) stall the load harness exposed on the prefetch path).
+// Writes are lock-free after the chunk exists. Must not be copied.
+type hintTable struct {
+	chunks atomic.Pointer[[]*hintChunk]
+	grow   sync.Mutex
+}
+
+// note folds one access at timeS (model seconds, non-negative) into the
+// aggregate for id.
+func (t *hintTable) note(id int64, timeS float64) {
+	st := t.slot(id)
+	enc := math.Float64bits(timeS) + 1
+	for {
+		cur := st.first.Load()
+		if cur != 0 && cur <= enc {
+			break
+		}
+		if st.first.CompareAndSwap(cur, enc) {
+			break
+		}
+	}
+	for {
+		cur := st.last.Load()
+		if cur >= enc {
+			break
+		}
+		if st.last.CompareAndSwap(cur, enc) {
+			break
+		}
+	}
+	st.count.Add(1)
+}
+
+// each visits every file id in [0, n) that has at least one recorded
+// access, passing its count and decoded first/last access times.
+func (t *hintTable) each(n int64, visit func(id, count int64, first, last float64)) {
+	cs := t.chunks.Load()
+	if cs == nil {
+		return
+	}
+	for id := int64(0); id < n; id++ {
+		idx := int(id >> hintChunkBits)
+		if idx >= len(*cs) {
+			return
+		}
+		st := &(*cs)[idx][id&(hintChunkSize-1)]
+		count := st.count.Load()
+		if count == 0 {
+			continue
+		}
+		first, last := st.first.Load(), st.last.Load()
+		if first == 0 || last == 0 {
+			continue // mid-publication by a concurrent note
+		}
+		visit(id, count, math.Float64frombits(first-1), math.Float64frombits(last-1))
+	}
+}
+
+// slot returns the stat cell for a file id, growing the chunk directory
+// on first touch of a new chunk.
+func (t *hintTable) slot(id int64) *hintStat {
+	idx := int(id >> hintChunkBits)
+	for {
+		if cs := t.chunks.Load(); cs != nil && idx < len(*cs) {
+			return &(*cs)[idx][id&(hintChunkSize-1)]
+		}
+		t.grow.Lock()
+		cs := t.chunks.Load()
+		if cs == nil || idx >= len(*cs) {
+			var grown []*hintChunk
+			if cs != nil {
+				grown = append(grown, *cs...)
+			}
+			for len(grown) <= idx {
+				grown = append(grown, new(hintChunk))
+			}
+			t.chunks.Store(&grown)
+		}
+		t.grow.Unlock()
+	}
+}

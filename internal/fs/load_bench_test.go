@@ -1,0 +1,147 @@
+package fs
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	"eevfs/internal/disk"
+)
+
+// The gated load suite (BENCH_load.json): fixed work per iteration, run
+// with -benchtime 1x -count 3 like the stream suite, so ns/op is the
+// wall-clock of a deterministic op count and benchcmp can diff it. Each
+// benchmark boots a fresh cluster per iteration — connection setup and
+// accept-path behavior are part of what the suite guards.
+
+// benchLoadCluster boots one server over two nodes shaped for load:
+// latency injection off, probes off, DPM off.
+func benchLoadCluster(b *testing.B) *Server {
+	b.Helper()
+	quiet := log.New(io.Discard, "", 0)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		n, err := StartNode(NodeConfig{
+			Addr:        "127.0.0.1:0",
+			RootDir:     b.TempDir(),
+			DataDisks:   2,
+			DataModel:   disk.ModelType1,
+			BufferModel: disk.ModelType1,
+			TimeScale:   2000,
+			Logger:      quiet,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { n.Close() })
+		addrs = append(addrs, n.Addr())
+	}
+	srv, err := StartServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NodeAddrs: addrs,
+		Logger:    quiet,
+		Health:    HealthConfig{ProbeInterval: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func runLoadBench(b *testing.B, cfg LoadConfig) {
+	b.Helper()
+	srv := benchLoadCluster(b)
+	cfg.ServerAddrs = []string{srv.Addr()}
+	cfg.Duration = 5 * time.Minute // backstop; MaxOps is the real bound
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.SkipPreload = i > 0 // the working set survives across iterations
+		res, err := RunLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Issued != res.Completed+res.Failed {
+			b.Fatalf("accounting broken: %+v", res)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("load bench produced %d errors: %v", res.Failed, res.Errors)
+		}
+		b.ReportMetric(res.AchievedRate, "ops/s")
+		b.ReportMetric(res.Ops[LoadOpRead].P99*1000, "p99-ms")
+	}
+}
+
+// BenchmarkLoadRPC: closed-loop whole-file RPC reads from 128 pipelined
+// clients over 16 shared connections — the metadata+data round-trip
+// capacity number.
+func BenchmarkLoadRPC(b *testing.B) {
+	runLoadBench(b, LoadConfig{
+		Clients: 128, Conns: 16, MaxOps: 6000,
+		Files: 128, FileSize: 4 << 10, Seed: 1,
+	})
+}
+
+// BenchmarkLoadMixed: closed-loop mixed traffic (10% writes, 10%
+// streamed reads) from 96 clients — exercises the write-intent lookup,
+// the node write path, and the stream plane under the same fan-in.
+func BenchmarkLoadMixed(b *testing.B) {
+	runLoadBench(b, LoadConfig{
+		Clients: 96, Conns: 16, MaxOps: 4000,
+		Files: 128, FileSize: 4 << 10,
+		WriteFrac: 0.1, StreamFrac: 0.1, Seed: 2,
+	})
+}
+
+// BenchmarkLoadFanIn: 1000 logical clients over 32 connections,
+// closed-loop reads — the per-connection worker model's queueing under
+// deep fan-in is the thing this number moves with.
+func BenchmarkLoadFanIn(b *testing.B) {
+	runLoadBench(b, LoadConfig{
+		Clients: 1000, Conns: 32, MaxOps: 8000,
+		Files: 256, FileSize: 2 << 10, Seed: 3,
+	})
+}
+
+// BenchmarkLoadConnSetup: 200 fresh dial→read→close cycles per
+// iteration, 8 at a time — the accept-path number (listener loop,
+// preface sniff, connection teardown).
+func BenchmarkLoadConnSetup(b *testing.B) {
+	srv := benchLoadCluster(b)
+	// One preload pass so every dial cycle reads an existing file.
+	if _, err := RunLoad(LoadConfig{
+		ServerAddrs: []string{srv.Addr()}, Clients: 8, MaxOps: 8,
+		Duration: time.Minute, Files: 16, FileSize: 1 << 10, Seed: 4,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const cycles, par = 200, 8
+		errs := make(chan error, par)
+		for w := 0; w < par; w++ {
+			go func(w int) {
+				for j := 0; j < cycles/par; j++ {
+					cl, err := Dial(srv.Addr())
+					if err != nil {
+						errs <- err
+						return
+					}
+					_, _, err = cl.Read(loadOpName(j % 16))
+					cl.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(w)
+		}
+		for w := 0; w < par; w++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -58,6 +58,14 @@ type NodeConfig struct {
 	// WriteTimeout bounds writing one response frame, so a stalled or
 	// partitioned peer cannot pin a serving goroutine (default 30s).
 	WriteTimeout time.Duration
+	// AcceptLoops is how many goroutines accept on the listener in
+	// parallel (default 4).
+	AcceptLoops int
+	// ConnWorkers caps concurrent in-flight requests per connection
+	// (default 128); ConnStreams caps open streams per connection
+	// (default 64).
+	ConnWorkers int
+	ConnStreams int
 	// Logger receives operational messages (nil = log.Default).
 	Logger *log.Logger
 	// Metrics, when set, receives the node's telemetry: per-op latency
@@ -219,8 +227,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.ln = ln
-	n.wg.Add(1)
-	go n.acceptLoop()
+	loops := cfg.AcceptLoops
+	if loops <= 0 {
+		loops = 4
+	}
+	for i := 0; i < loops; i++ {
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
 	return n, nil
 }
 
@@ -263,11 +277,7 @@ func (n *Node) Close() error {
 
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
-	for {
-		conn, err := n.ln.Accept()
-		if err != nil {
-			return
-		}
+	acceptConns(n.ln, n.logger.Printf, func(conn net.Conn) {
 		n.mu.Lock()
 		if n.closing {
 			n.mu.Unlock()
@@ -278,7 +288,7 @@ func (n *Node) acceptLoop() {
 		n.mu.Unlock()
 		n.wg.Add(1)
 		go n.serveConn(conn)
-	}
+	})
 }
 
 func (n *Node) serveConn(conn net.Conn) {
@@ -289,7 +299,8 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.mu.Unlock()
 		conn.Close()
 	}()
-	serveFrames(conn, n.cfg.WriteTimeout, n.dispatch, n.dispatchStream)
+	serveFrames(conn, n.cfg.WriteTimeout, n.dispatch, n.dispatchStream,
+		connLimits{workers: n.cfg.ConnWorkers, streams: n.cfg.ConnStreams})
 }
 
 func (n *Node) dispatch(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error) {

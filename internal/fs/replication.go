@@ -346,9 +346,7 @@ func (s *Server) applyOpLocked(op proto.RepOp) error {
 		return nil
 	case proto.RepOpAccess:
 		for _, r := range op.Records {
-			s.accesses.Append(trace.Record{
-				TimeS: r.TimeS, Op: trace.Read, FileID: int(r.FileID), Size: r.Size,
-			})
+			s.recordAccess(int(r.FileID), r.TimeS, r.Size)
 		}
 		s.accessMark = int64(s.accesses.Len())
 		return nil
@@ -421,9 +419,7 @@ func (s *Server) handleRepSnapshot(snap proto.RepSnapshot) error {
 	// popularity counts are advisory and re-converge on later epochs.)
 	for i := s.accesses.Len(); i < len(snap.Accesses); i++ {
 		r := snap.Accesses[i]
-		s.accesses.Append(trace.Record{
-			TimeS: r.TimeS, Op: trace.Read, FileID: int(r.FileID), Size: r.Size,
-		})
+		s.recordAccess(int(r.FileID), r.TimeS, r.Size)
 	}
 	s.accessMark = int64(s.accesses.Len())
 	s.repSeq = snap.Seq
@@ -527,17 +523,17 @@ func (s *Server) flushAccessEpoch() {
 	if !s.primary.Load() {
 		return
 	}
+	// Scan only the tail appended since the last epoch: the flush runs
+	// every repLoop tick, and re-walking the whole journal each time
+	// made the tick O(history) — a measurable stall source under load.
 	var recs []proto.RepAccess
 	maxSeq := s.accessMark - 1
-	for _, r := range s.accesses.Snapshot() {
-		if r.Seq < s.accessMark {
-			continue
-		}
+	s.accesses.ScanFrom(s.accessMark, func(r trace.Record) {
 		recs = append(recs, proto.RepAccess{FileID: int64(r.FileID), TimeS: r.TimeS, Size: r.Size})
 		if r.Seq > maxSeq {
 			maxSeq = r.Seq
 		}
-	}
+	})
 	if len(recs) == 0 {
 		return
 	}

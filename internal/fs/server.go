@@ -62,6 +62,15 @@ type ServerConfig struct {
 	// WriteTimeout bounds writing one response frame to a client, so a
 	// stalled client cannot pin a serving goroutine (default 30s).
 	WriteTimeout time.Duration
+	// AcceptLoops is how many goroutines accept on the listener in
+	// parallel (default 4). Under connection-storm fan-in a single loop's
+	// post-accept bookkeeping gates the accept rate.
+	AcceptLoops int
+	// ConnWorkers caps concurrent in-flight requests per client
+	// connection (default 128); ConnStreams caps open streams per
+	// connection (default 64).
+	ConnWorkers int
+	ConnStreams int
 	// Peers lists every metadata server of a replicated group (client
 	// addresses, including this server's own), index-aligned across the
 	// group. Empty means standalone: no replication, exactly the classic
@@ -192,9 +201,17 @@ type Server struct {
 	adBusy       atomic.Bool
 	lastK        atomic.Int64
 	reprefetches *telemetry.Counter
+	// churnCh decouples churn detection from the lookup hot path: the
+	// read path does one non-blocking send and a single churnLoop
+	// goroutine owns the detector, so concurrent lookups never serialize
+	// on churnMu. Overflow drops the observation (counted) — under the
+	// load that fills 4096 slots the detector has evidence to spare.
+	churnCh      chan int
+	churnDropped *telemetry.Counter
 
 	accesses trace.AtomicLog
 	sizes    sizeTable    // per file id (dense); slots survive deletes
+	hints    hintTable    // per file id incremental {count, first, last}
 	nextID   atomic.Int64 // next file id
 	nextNode atomic.Int64 // placement round-robin cursor
 
@@ -262,6 +279,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		s.adParams = p
 		s.churn = adaptive.NewChurn(p)
 		s.buffered = make(map[int]bool)
+		s.churnCh = make(chan int, 4096)
 		k := cfg.AdaptiveK
 		if k <= 0 {
 			k = 32
@@ -279,6 +297,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	s.healthyNodes.Set(float64(len(cfg.NodeAddrs)))
 	s.accessCtr = cfg.Metrics.Counter("server.accesses")
 	s.reprefetches = cfg.Metrics.Counter("server.adaptive.reprefetches")
+	s.churnDropped = cfg.Metrics.Counter("server.adaptive.churn.dropped")
 	s.replLag = cfg.Metrics.Gauge("server.repl.lag")
 	s.roleG = cfg.Metrics.Gauge("server.repl.primary")
 	s.failoversC = cfg.Metrics.Counter("server.repl.failovers")
@@ -312,8 +331,18 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
+	loops := cfg.AcceptLoops
+	if loops <= 0 {
+		loops = 4
+	}
+	for i := 0; i < loops; i++ {
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	if s.churn != nil {
+		s.wg.Add(1)
+		go s.churnLoop()
+	}
 	if cfg.Health.ProbeInterval > 0 {
 		s.probeWg.Add(1)
 		go s.probeLoop()
@@ -440,11 +469,7 @@ func (s *Server) Healthy() []bool {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
+	acceptConns(s.ln, s.logger.Printf, func(conn net.Conn) {
 		s.connMu.Lock()
 		if s.closing {
 			s.connMu.Unlock()
@@ -455,7 +480,7 @@ func (s *Server) acceptLoop() {
 		s.connMu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
-	}
+	})
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -468,7 +493,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	// The metadata server has no data plane: nil stream handler, so
 	// stream opens are rejected with a typed error.
-	serveFrames(conn, s.cfg.WriteTimeout, s.dispatch, nil)
+	serveFrames(conn, s.cfg.WriteTimeout, s.dispatch, nil,
+		connLimits{workers: s.cfg.ConnWorkers, streams: s.cfg.ConnStreams})
 }
 
 func (s *Server) dispatch(t proto.Type, payload []byte, sc telemetry.SpanContext) (proto.Type, []byte, error) {
@@ -711,26 +737,53 @@ func (s *Server) handleLookupWrite(req proto.LookupReq, sp *telemetry.Span) (pro
 }
 
 // journalAccess appends one popularity record for fi and, under the
-// adaptive policy, feeds the churn detector — kicking off a background
-// re-prefetch when the observed hot set has diverged from the buffered
-// one.
+// adaptive policy, hands the access to the churn loop — the lookup hot
+// path takes no lock and waits on no detector.
 func (s *Server) journalAccess(fi metadata.FileInfo) {
-	s.accesses.Append(trace.Record{ // Seq is assigned atomically by the log
-		TimeS:  float64(s.clock.Now()),
-		Op:     trace.Read,
-		FileID: fi.ID,
-		Size:   fi.Size,
-	})
+	s.recordAccess(fi.ID, float64(s.clock.Now()), fi.Size)
 	s.accessCtr.Inc()
 	if s.churn == nil {
 		return
 	}
-	s.churnMu.Lock()
-	fire := s.churn.Observe(fi.ID, s.buffered[fi.ID])
-	s.churnMu.Unlock()
-	if fire && s.primary.Load() && s.adBusy.CompareAndSwap(false, true) {
-		s.wg.Add(1)
-		go s.adaptiveRecompute()
+	select {
+	case s.churnCh <- fi.ID:
+	default:
+		s.churnDropped.Inc()
+	}
+}
+
+// recordAccess appends one popularity record and folds it into the
+// incremental hint aggregate; every append into the access journal —
+// live lookups, replicated epochs, snapshot installs — must go through
+// here so the two views never diverge.
+func (s *Server) recordAccess(fileID int, timeS float64, size int64) {
+	s.accesses.Append(trace.Record{ // Seq is assigned atomically by the log
+		TimeS:  timeS,
+		Op:     trace.Read,
+		FileID: fileID,
+		Size:   size,
+	})
+	s.hints.note(int64(fileID), timeS)
+}
+
+// churnLoop is the single consumer of churnCh: it scores each observed
+// access against the buffered set and kicks off a background
+// re-prefetch when the detector fires.
+func (s *Server) churnLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case id := <-s.churnCh:
+			s.churnMu.Lock()
+			fire := s.churn.Observe(id, s.buffered[id])
+			s.churnMu.Unlock()
+			if fire && s.primary.Load() && s.adBusy.CompareAndSwap(false, true) {
+				s.wg.Add(1)
+				go s.adaptiveRecompute()
+			}
+		}
 	}
 }
 
@@ -1030,43 +1083,25 @@ func (s *Server) copyToMirror(fi metadata.FileInfo, mirror int, sp *telemetry.Sp
 }
 
 // hintsPerNode derives each file's mean request inter-arrival from the
-// access log and groups the hints by owning node. Files seen fewer than
-// twice yield no estimate.
+// incremental hint aggregate and groups the hints by owning node —
+// O(number of files), not O(length of the access history) as the
+// original whole-journal walk was. Files seen fewer than twice yield no
+// estimate.
 func (s *Server) hintsPerNode() map[int][]proto.FileHint {
-	type span struct {
-		first, last float64
-		count       int
-	}
-	spans := make(map[int]*span)
-	for _, rec := range s.accesses.Snapshot() {
-		sp, ok := spans[rec.FileID]
-		if !ok {
-			spans[rec.FileID] = &span{first: rec.TimeS, last: rec.TimeS, count: 1}
-			continue
-		}
-		if rec.TimeS < sp.first {
-			sp.first = rec.TimeS
-		}
-		if rec.TimeS > sp.last {
-			sp.last = rec.TimeS
-		}
-		sp.count++
-	}
-
 	out := make(map[int][]proto.FileHint)
-	for id, sp := range spans {
-		if sp.count < 2 || sp.last <= sp.first {
-			continue
+	s.hints.each(s.nextID.Load(), func(id, count int64, first, last float64) {
+		if count < 2 || last <= first {
+			return
 		}
-		fi, ok := s.meta.LookupID(id)
+		fi, ok := s.meta.LookupID(int(id))
 		if !ok {
-			continue
+			return
 		}
 		out[fi.Node] = append(out[fi.Node], proto.FileHint{
-			FileID:          int64(id),
-			MeanIntervalSec: (sp.last - sp.first) / float64(sp.count-1),
+			FileID:          id,
+			MeanIntervalSec: (last - first) / float64(count-1),
 		})
-	}
+	})
 	return out
 }
 

@@ -32,7 +32,7 @@ func TestStreamConnCapRejectedTyped(t *testing.T) {
 		}
 	}()
 	rejected := 0
-	for i := 0; i < maxConnStreams+6; i++ {
+	for i := 0; i < defaultConnStreams+6; i++ {
 		r, err := cl.OpenRead("capped", opts)
 		if err != nil {
 			if !errors.Is(err, ErrNodeUnavailable) {
@@ -44,10 +44,10 @@ func TestStreamConnCapRejectedTyped(t *testing.T) {
 		open = append(open, r)
 	}
 	if rejected == 0 {
-		t.Fatalf("%d window-1 streams on one connection never hit the cap", maxConnStreams+6)
+		t.Fatalf("%d window-1 streams on one connection never hit the cap", defaultConnStreams+6)
 	}
-	if len(open) != maxConnStreams {
-		t.Fatalf("%d streams admitted, want %d", len(open), maxConnStreams)
+	if len(open) != defaultConnStreams {
+		t.Fatalf("%d streams admitted, want %d", len(open), defaultConnStreams)
 	}
 
 	// The demux loop must still be feeding the admitted streams: drain

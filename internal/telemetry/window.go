@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Windowed is a sliding-window histogram: observations land in the
+// current slot (lock-free, same cost as Histogram.Observe), and Snapshot
+// merges the newest `slots` slots into one HistogramSnapshot. Advancing
+// retires the oldest slot, so a snapshot covers only the last
+// slots×(advance interval) of traffic — the "p99 over the last N
+// seconds" view a live load reporter needs, which a cumulative histogram
+// cannot provide (its tail freezes as the count grows).
+//
+// Observe is safe for any number of concurrent callers; Advance and
+// Snapshot serialize against each other (one reporter goroutine is the
+// intended caller).
+type Windowed struct {
+	bounds []float64
+	cur    atomic.Pointer[Histogram]
+
+	mu   sync.Mutex
+	past []*Histogram // newest last; len < slots
+	n    int          // total slots including cur
+}
+
+// NewWindowed builds a window of n slots over the given bucket bounds
+// (nil = DefBuckets). n < 2 is clamped to 2 (one live slot plus one
+// retired slot — anything less cannot slide).
+func NewWindowed(n int, bounds []float64) *Windowed {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if n < 2 {
+		n = 2
+	}
+	w := &Windowed{bounds: bounds, n: n}
+	w.cur.Store(newHistogram(bounds))
+	return w
+}
+
+// Observe records one value into the current slot. Nil-safe.
+func (w *Windowed) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.cur.Load().Observe(v)
+}
+
+// Advance retires the current slot into the window and starts a fresh
+// one, evicting the oldest retired slot when the window is full.
+// Observations racing the swap land in either the retired or the fresh
+// slot — both are inside the window, so nothing is lost.
+func (w *Windowed) Advance() {
+	if w == nil {
+		return
+	}
+	fresh := newHistogram(w.bounds)
+	old := w.cur.Swap(fresh)
+	w.mu.Lock()
+	w.past = append(w.past, old)
+	if len(w.past) > w.n-1 {
+		w.past = w.past[1:]
+	}
+	w.mu.Unlock()
+}
+
+// Snapshot merges every slot still in the window into one frozen view
+// with recomputed quantiles. Nil-safe (returns a zero snapshot).
+func (w *Windowed) Snapshot() HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	w.mu.Lock()
+	hs := make([]*Histogram, 0, len(w.past)+1)
+	hs = append(hs, w.past...)
+	w.mu.Unlock()
+	hs = append(hs, w.cur.Load())
+
+	out := HistogramSnapshot{Buckets: make([]BucketCount, len(w.bounds))}
+	for i, le := range w.bounds {
+		out.Buckets[i].Le = le
+	}
+	for _, h := range hs {
+		s := h.snapshot()
+		out.Count += s.Count
+		out.Sum += s.Sum
+		out.Overflow += s.Overflow
+		for i := range s.Buckets {
+			out.Buckets[i].N += s.Buckets[i].N
+		}
+	}
+	out.P50 = out.Quantile(0.5)
+	out.P99 = out.Quantile(0.99)
+	out.P999 = out.Quantile(0.999)
+	return out
+}

@@ -108,13 +108,28 @@ func (l *AtomicLog) Counts(numFiles int) []int {
 	return counts
 }
 
+// ScanFrom visits every published record with from <= seq < Len(), in
+// order. Periodic consumers that remember their high-water mark (the
+// replication epoch flush) pay for the tail appended since their last
+// visit instead of re-copying the whole history every tick.
+func (l *AtomicLog) ScanFrom(from int64, visit func(Record)) {
+	if from < 0 {
+		from = 0
+	}
+	l.scanRange(from, l.next.Load(), visit)
+}
+
 // scan visits every published record with sequence number < n, in order.
 func (l *AtomicLog) scan(n int64, visit func(Record)) {
+	l.scanRange(0, n, visit)
+}
+
+func (l *AtomicLog) scanRange(from, n int64, visit func(Record)) {
 	cs := l.chunks.Load()
 	if cs == nil {
 		return
 	}
-	for seq := int64(0); seq < n; seq++ {
+	for seq := from; seq < n; seq++ {
 		idx := int(seq >> logChunkBits)
 		if idx >= len(*cs) {
 			return // directory grew after we snapshotted; newer slots are unpublished to us

@@ -1,0 +1,170 @@
+// Open-loop arrival processes for the live load harness (cmd/eevfsload).
+//
+// The trace generators above replay a fixed request list with fixed
+// inter-arrival gaps — a closed-loop shape: a slow server stretches the
+// run instead of building a queue. Saturation behavior (accept backlog,
+// worker-cap queueing, recompute stalls) only shows up when requests
+// keep arriving on schedule regardless of how the server is doing, so
+// the harness draws its inter-arrival gaps from one of these processes
+// and measures latency from the *scheduled* arrival time (the wrk2-style
+// coordinated-omission correction).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"eevfs/internal/rng"
+)
+
+// Arrival process names accepted by OpenLoopConfig.Process.
+const (
+	ProcessPoisson = "poisson" // exponential gaps: memoryless arrivals
+	ProcessUniform = "uniform" // constant gaps: a metronome at the offered rate
+	ProcessBurst   = "burst"   // two-state MMPP: bursts at BurstFactor×rate
+)
+
+// OpenLoopConfig describes one open-loop arrival stream.
+type OpenLoopConfig struct {
+	// RatePerSec is the offered arrival rate (events per second).
+	RatePerSec float64
+	// Process selects the inter-arrival law: ProcessPoisson (default when
+	// empty), ProcessUniform, or ProcessBurst.
+	Process string
+	// BurstFactor multiplies the rate while the burst state is on
+	// (ProcessBurst only; must be > 1).
+	BurstFactor float64
+	// BurstFraction is the long-run fraction of time spent in the burst
+	// state (ProcessBurst only; in (0,1), and BurstFactor*BurstFraction
+	// must stay < 1 so the off state's rate is positive).
+	BurstFraction float64
+	// BurstMeanSec is the mean dwell time of one burst (ProcessBurst
+	// only; default 1s). The off state's mean dwell follows from
+	// BurstFraction.
+	BurstMeanSec float64
+	Seed         uint64
+}
+
+// Validate reports the first problem with the configuration.
+func (c OpenLoopConfig) Validate() error {
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("workload: RatePerSec must be positive, got %g", c.RatePerSec)
+	}
+	switch c.Process {
+	case "", ProcessPoisson, ProcessUniform:
+	case ProcessBurst:
+		switch {
+		case c.BurstFactor <= 1:
+			return fmt.Errorf("workload: BurstFactor must be > 1, got %g", c.BurstFactor)
+		case c.BurstFraction <= 0 || c.BurstFraction >= 1:
+			return fmt.Errorf("workload: BurstFraction must be in (0,1), got %g", c.BurstFraction)
+		case c.BurstFactor*c.BurstFraction >= 1:
+			return fmt.Errorf("workload: BurstFactor*BurstFraction must be < 1 (off-state rate would be non-positive), got %g",
+				c.BurstFactor*c.BurstFraction)
+		case c.BurstMeanSec < 0:
+			return fmt.Errorf("workload: BurstMeanSec must be non-negative, got %g", c.BurstMeanSec)
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival process %q (want poisson, uniform, or burst)", c.Process)
+	}
+	return nil
+}
+
+// Arrivals produces the deterministic inter-arrival gaps of one open-loop
+// stream. Not safe for concurrent use; the harness gives each client
+// goroutine its own Arrivals (the superposition of independent Poisson
+// streams at rate R/N is again Poisson at rate R, and for the burst
+// process the decorrelated per-client states model independent user
+// sessions).
+type Arrivals struct {
+	cfg OpenLoopConfig
+	src *rng.Source
+
+	// Burst-process state: the current state's arrival rate and how much
+	// of its dwell remains. Dwells are exponential, so after consuming a
+	// partial dwell the remainder is redrawn (memoryless).
+	burstOn   bool
+	rate      float64 // current state's events/sec
+	dwellLeft float64 // seconds remaining in the current state
+}
+
+// NewArrivals builds the arrival stream for cfg. The configuration must
+// already be valid.
+func NewArrivals(cfg OpenLoopConfig) (*Arrivals, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Process == "" {
+		cfg.Process = ProcessPoisson
+	}
+	if cfg.Process == ProcessBurst && cfg.BurstMeanSec == 0 {
+		cfg.BurstMeanSec = 1
+	}
+	a := &Arrivals{cfg: cfg, src: rng.New(cfg.Seed)}
+	if cfg.Process == ProcessBurst {
+		// Start in the off state with a fresh dwell; the first draws then
+		// cover the common case (off most of the time).
+		a.burstOn = false
+		a.rate = a.offRate()
+		a.dwellLeft = a.src.ExpFloat64() * a.offMeanDwell()
+	}
+	return a, nil
+}
+
+// offRate is the off state's arrival rate, chosen so the long-run mean
+// rate equals RatePerSec: f*k*R + (1-f)*offRate = R.
+func (a *Arrivals) offRate() float64 {
+	f, k := a.cfg.BurstFraction, a.cfg.BurstFactor
+	return a.cfg.RatePerSec * (1 - f*k) / (1 - f)
+}
+
+// offMeanDwell is the off state's mean dwell, fixed by the burst dwell
+// and the long-run burst fraction.
+func (a *Arrivals) offMeanDwell() float64 {
+	f := a.cfg.BurstFraction
+	return a.cfg.BurstMeanSec * (1 - f) / f
+}
+
+// Next returns the gap between the previous arrival and the next one.
+// Gaps are deterministic under a fixed seed.
+func (a *Arrivals) Next() time.Duration {
+	switch a.cfg.Process {
+	case ProcessUniform:
+		return secToDur(1 / a.cfg.RatePerSec)
+	case ProcessBurst:
+		return secToDur(a.nextBurstGap())
+	default: // poisson
+		return secToDur(a.src.ExpFloat64() / a.cfg.RatePerSec)
+	}
+}
+
+// nextBurstGap draws one inter-arrival gap from the two-state MMPP,
+// advancing through state switches as needed. Within a state, arrivals
+// are Poisson at the state's rate; at a switch the pending exponential
+// gap is discarded and redrawn at the new rate (both distributions are
+// memoryless, so the discarded remainder carries no information).
+func (a *Arrivals) nextBurstGap() float64 {
+	total := 0.0
+	for {
+		gap := a.src.ExpFloat64() / a.rate
+		if gap <= a.dwellLeft {
+			a.dwellLeft -= gap
+			return total + gap
+		}
+		// The state expires before the next arrival: consume the rest of
+		// the dwell, switch, and redraw in the new state.
+		total += a.dwellLeft
+		a.burstOn = !a.burstOn
+		if a.burstOn {
+			a.rate = a.cfg.RatePerSec * a.cfg.BurstFactor
+			a.dwellLeft = a.src.ExpFloat64() * a.cfg.BurstMeanSec
+		} else {
+			a.rate = a.offRate()
+			a.dwellLeft = a.src.ExpFloat64() * a.offMeanDwell()
+		}
+	}
+}
+
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

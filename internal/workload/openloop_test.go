@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// drainSeconds sums gaps until at least horizon seconds of schedule have
+// been generated, returning the arrival count and the exact elapsed time.
+func drainSeconds(t *testing.T, cfg OpenLoopConfig, horizon float64) (int, float64) {
+	t.Helper()
+	a, err := NewArrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := 0.0
+	n := 0
+	for elapsed < horizon {
+		elapsed += a.Next().Seconds()
+		n++
+		if n > int(cfg.RatePerSec*horizon*100)+1000 {
+			t.Fatalf("runaway arrival stream: %d arrivals in %.2fs at rate %g", n, elapsed, cfg.RatePerSec)
+		}
+	}
+	return n, elapsed
+}
+
+// TestArrivalsDeterministic: the same seed must yield the identical gap
+// sequence — the property that makes load runs reproducible.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, proc := range []string{ProcessPoisson, ProcessUniform, ProcessBurst} {
+		cfg := OpenLoopConfig{
+			RatePerSec: 500, Process: proc, Seed: 42,
+			BurstFactor: 4, BurstFraction: 0.1, BurstMeanSec: 0.05,
+		}
+		a1, err := NewArrivals(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := NewArrivals(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			g1, g2 := a1.Next(), a2.Next()
+			if g1 != g2 {
+				t.Fatalf("%s: gap %d diverged under one seed: %v vs %v", proc, i, g1, g2)
+			}
+			if g1 < 0 {
+				t.Fatalf("%s: negative gap %v at %d", proc, g1, i)
+			}
+		}
+		if proc == ProcessUniform {
+			continue // gaps are seed-independent by construction
+		}
+		a3, err := NewArrivals(OpenLoopConfig{
+			RatePerSec: 500, Process: proc, Seed: 43,
+			BurstFactor: 4, BurstFraction: 0.1, BurstMeanSec: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a4, _ := NewArrivals(cfg)
+		same := true
+		for i := 0; i < 100; i++ {
+			if a3.Next() != a4.Next() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced the same gap stream", proc)
+		}
+	}
+}
+
+// TestArrivalsOfferedRate: over a long horizon the realized arrival count
+// must track RatePerSec for every process — the offered-rate property the
+// harness's achieved-vs-offered comparison depends on.
+func TestArrivalsOfferedRate(t *testing.T) {
+	const horizon = 200.0 // scheduled seconds (generated, not slept)
+	cases := []OpenLoopConfig{
+		{RatePerSec: 100, Process: ProcessPoisson, Seed: 7},
+		{RatePerSec: 100, Process: ProcessUniform, Seed: 7},
+		{RatePerSec: 100, Process: ProcessBurst, Seed: 7,
+			BurstFactor: 5, BurstFraction: 0.1, BurstMeanSec: 0.05},
+		{RatePerSec: 2000, Process: ProcessBurst, Seed: 11,
+			BurstFactor: 3, BurstFraction: 0.2, BurstMeanSec: 0.1},
+	}
+	for _, cfg := range cases {
+		n, elapsed := drainSeconds(t, cfg, horizon)
+		got := float64(n) / elapsed
+		// 5% tolerance: 20000+ arrivals, CLT puts Poisson noise well under
+		// 2%; the burst process mixes states over 400+ dwell cycles.
+		if got < 0.95*cfg.RatePerSec || got > 1.05*cfg.RatePerSec {
+			t.Errorf("%s: realized rate %.1f/s, offered %.1f/s", cfg.Process, got, cfg.RatePerSec)
+		}
+	}
+}
+
+// TestArrivalsBurstShape: the burst process must actually burst — the gap
+// distribution inside bursts is shorter than off-state gaps — while the
+// uniform process is an exact metronome.
+func TestArrivalsBurstShape(t *testing.T) {
+	a, err := NewArrivals(OpenLoopConfig{
+		RatePerSec: 1000, Process: ProcessBurst, Seed: 3,
+		BurstFactor: 8, BurstFraction: 0.1, BurstMeanSec: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		// At the 8x burst rate the mean gap is 125µs vs 1.39ms off-burst
+		// (off rate = 1000*(1-0.8)/0.9 ≈ 222/s). Count sub-200µs gaps: a
+		// pure Poisson(1000/s) stream would see ~18% of gaps under 200µs;
+		// the MMPP's burst state pushes the share far higher.
+		if a.Next() < 200*time.Microsecond {
+			short++
+		}
+	}
+	frac := float64(short) / n
+	if frac < 0.30 {
+		t.Fatalf("burst process produced only %.1f%% short gaps; bursts are not happening", 100*frac)
+	}
+
+	u, err := NewArrivals(OpenLoopConfig{RatePerSec: 250, Process: ProcessUniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := u.Next()
+	for i := 0; i < 100; i++ {
+		if got := u.Next(); got != want {
+			t.Fatalf("uniform gap varied: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestOpenLoopValidation: bad configurations are rejected with the field
+// named, and the degenerate burst parameterizations cannot slip through.
+func TestOpenLoopValidation(t *testing.T) {
+	bad := []OpenLoopConfig{
+		{RatePerSec: 0},
+		{RatePerSec: -5},
+		{RatePerSec: 10, Process: "thundering-herd"},
+		{RatePerSec: 10, Process: ProcessBurst, BurstFactor: 1, BurstFraction: 0.1},
+		{RatePerSec: 10, Process: ProcessBurst, BurstFactor: 4, BurstFraction: 0},
+		{RatePerSec: 10, Process: ProcessBurst, BurstFactor: 4, BurstFraction: 1},
+		{RatePerSec: 10, Process: ProcessBurst, BurstFactor: 4, BurstFraction: 0.25}, // f*k = 1
+		{RatePerSec: 10, Process: ProcessBurst, BurstFactor: 4, BurstFraction: 0.1, BurstMeanSec: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+		if _, err := NewArrivals(cfg); err == nil {
+			t.Errorf("case %d: NewArrivals accepted invalid config %+v", i, cfg)
+		}
+	}
+	good := OpenLoopConfig{RatePerSec: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default poisson config rejected: %v", err)
+	}
+}
